@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"auditherm/internal/dataset"
+)
+
+func TestRunWritesDatasetAndTruth(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	truth := filepath.Join(dir, "truth.csv")
+	if err := run(7, 3, out, truth); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, path := range []string{out, truth} {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		frame, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		if frame.Grid.N != 7*96 {
+			t.Errorf("%s: grid steps = %d, want %d", path, frame.Grid.N, 7*96)
+		}
+	}
+}
+
+func TestRunRejectsBadDays(t *testing.T) {
+	if err := run(0, 1, filepath.Join(t.TempDir(), "x.csv"), ""); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestRunShortTraceKeepsUsableDays(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	if err := run(14, 5, out, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	frame, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scaled failure plan must leave most of a two-week trace
+	// intact.
+	if frac := frame.MissingFraction(); frac > 0.5 {
+		t.Errorf("missing fraction %v on a short trace; outage plan not scaled", frac)
+	}
+}

@@ -1,0 +1,107 @@
+// Command cluster groups a dataset's temperature sensors by spectral
+// clustering on their measurement similarity, printing the Laplacian
+// eigen-spectrum, the eigengap choice of k and the cluster members.
+//
+// Usage:
+//
+//	cluster -i dataset.csv [-metric correlation] [-k 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"auditherm/internal/cluster"
+	"auditherm/internal/dataset"
+	"auditherm/internal/timeseries"
+)
+
+func main() {
+	in := flag.String("i", "", "input dataset CSV (required)")
+	metricName := flag.String("metric", "correlation", "similarity metric: correlation or euclidean")
+	k := flag.Int("k", 0, "cluster count (0 = choose by largest log-eigengap)")
+	onHour := flag.Int("on", 6, "HVAC on hour")
+	offHour := flag.Int("off", 21, "HVAC off hour")
+	flag.Parse()
+
+	if err := run(*in, *metricName, *k, *onHour, *offHour); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, metricName string, k, onHour, offHour int) error {
+	if in == "" {
+		return fmt.Errorf("missing -i dataset.csv")
+	}
+	var metric cluster.Metric
+	switch metricName {
+	case "correlation":
+		metric = cluster.Correlation
+	case "euclidean":
+		metric = cluster.Euclidean
+	default:
+		return fmt.Errorf("unknown metric %q", metricName)
+	}
+
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	frame, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	temps, inputs, sensors, err := dataset.FrameMatrices(frame)
+	if err != nil {
+		return err
+	}
+
+	// Cluster on the gap-free occupied-mode columns.
+	wins := dataset.GridModeWindows(frame.Grid, dataset.Occupied, onHour, offHour)
+	var rows [][]float64
+	for i := 0; i < temps.Rows(); i++ {
+		rows = append(rows, temps.RawRow(i))
+	}
+	for i := 0; i < inputs.Rows(); i++ {
+		rows = append(rows, inputs.RawRow(i))
+	}
+	mask, err := timeseries.ValidMask(rows)
+	if err != nil {
+		return err
+	}
+	x := dataset.CollectValid(temps, mask, wins)
+	if x.Cols() < 10 {
+		return fmt.Errorf("only %d gap-free occupied steps; not enough to cluster", x.Cols())
+	}
+	fmt.Printf("clustering %d sensors over %d gap-free occupied steps (%v metric)\n",
+		x.Rows(), x.Cols(), metric)
+
+	w, err := cluster.SimilarityMatrix(x, metric)
+	if err != nil {
+		return err
+	}
+	res, err := cluster.SpectralCluster(w, k, cluster.SpectralOptions{Seed: 11})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nLaplacian eigenvalues (ascending):\n")
+	for i, v := range res.Eigenvalues {
+		fmt.Printf("  lambda_%-2d = %.6g\n", i+1, v)
+	}
+	fmt.Printf("\nchosen k = %d\n", res.K)
+	for c, ms := range res.Members() {
+		mean, err := cluster.MeanTrace(x, ms)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cluster %d (mean %.2f degC):", c+1, cluster.MeanOfTrace(mean))
+		for _, i := range ms {
+			fmt.Printf(" %s", sensors[i])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation on the simulated auditorium dataset and prints them in
+// order. Its output is the source for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	repro [-only <id>] [-short]
+//
+// where id is one of: table1, table2, fig2 ... fig11, control, virtual. -short skips the
+// slowest sweeps (Figures 7, 8, 10, 11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"auditherm/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig2..fig11)")
+	short := flag.Bool("short", false, "skip the slowest sweeps")
+	flag.Parse()
+
+	if err := run(*only, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string, short bool) error {
+	t0 := time.Now()
+	fmt.Println("generating 98-day auditorium dataset...")
+	env, err := experiments.Shared()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset ready in %v: %d usable occupied days (%d train / %d valid)\n\n",
+		time.Since(t0).Round(time.Millisecond),
+		len(env.OccTrainDays)+len(env.OccValidDays), len(env.OccTrainDays), len(env.OccValidDays))
+
+	type experiment struct {
+		id   string
+		slow bool
+		run  func() (fmt.Stringer, error)
+	}
+	exps := []experiment{
+		{"table1", false, func() (fmt.Stringer, error) { return experiments.TableI(env) }},
+		{"fig2", false, func() (fmt.Stringer, error) { return experiments.Figure2(env) }},
+		{"fig3", false, func() (fmt.Stringer, error) { return experiments.Figure3(env) }},
+		{"fig4", false, func() (fmt.Stringer, error) { return experiments.Figure4(env) }},
+		{"fig5", false, func() (fmt.Stringer, error) { return experiments.Figure5(env) }},
+		{"fig6", false, func() (fmt.Stringer, error) {
+			eu, co, err := experiments.Figure6(env)
+			if err != nil {
+				return nil, err
+			}
+			return stringers{eu, co}, nil
+		}},
+		{"fig7", true, func() (fmt.Stringer, error) {
+			rs, err := experiments.Figure7(env)
+			if err != nil {
+				return nil, err
+			}
+			return intraPanels("Figure 7 (Euclidean clustering panels)", rs), nil
+		}},
+		{"fig8", true, func() (fmt.Stringer, error) {
+			rs, err := experiments.Figure8(env)
+			if err != nil {
+				return nil, err
+			}
+			return intraPanels("Figure 8 (correlation clustering panels)", rs), nil
+		}},
+		{"table2", false, func() (fmt.Stringer, error) { return experiments.TableII(env) }},
+		{"fig9", false, func() (fmt.Stringer, error) { return experiments.Figure9(env) }},
+		{"fig10", true, func() (fmt.Stringer, error) { return experiments.Figure10(env) }},
+		{"fig11", true, func() (fmt.Stringer, error) { return experiments.Figure11(env) }},
+		{"control", true, func() (fmt.Stringer, error) { return experiments.ControlStudy(env, 7) }},
+		{"virtual", true, func() (fmt.Stringer, error) { return experiments.VirtualSensing(env) }},
+	}
+
+	known := false
+	for _, ex := range exps {
+		if only != "" && ex.id != only {
+			continue
+		}
+		known = true
+		if only == "" && short && ex.slow {
+			fmt.Printf("== %s skipped (-short) ==\n\n", ex.id)
+			continue
+		}
+		start := time.Now()
+		res, err := ex.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.id, err)
+		}
+		fmt.Printf("== %s (%v) ==\n%s\n", ex.id, time.Since(start).Round(time.Millisecond), res)
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q", only)
+	}
+	return nil
+}
+
+// stringers joins multiple results into one printable block.
+type stringers []fmt.Stringer
+
+func (s stringers) String() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "")
+}
+
+// intraPanels prefixes a figure title onto its panels.
+func intraPanels(title string, rs []*experiments.IntraClusterResult) fmt.Stringer {
+	out := make(stringers, 0, len(rs)+1)
+	out = append(out, header(title))
+	for _, r := range rs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// header is a printable section title.
+type header string
+
+func (h header) String() string { return string(h) + "\n" }

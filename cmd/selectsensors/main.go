@@ -1,0 +1,159 @@
+// Command selectsensors compares the paper's sensor selection
+// strategies on a dataset CSV: it clusters the sensors, selects
+// representatives with SMS / SRS / RS / GP, and scores how well each
+// set predicts the cluster mean temperatures on held-out data.
+//
+// Usage:
+//
+//	selectsensors -i dataset.csv [-k 2] [-seeds 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"auditherm/internal/cluster"
+	"auditherm/internal/dataset"
+	"auditherm/internal/selection"
+	"auditherm/internal/stats"
+	"auditherm/internal/timeseries"
+)
+
+func main() {
+	in := flag.String("i", "", "input dataset CSV (required)")
+	k := flag.Int("k", 2, "number of clusters (0 = eigengap)")
+	seeds := flag.Int("seeds", 10, "random draws to average for SRS/RS")
+	onHour := flag.Int("on", 6, "HVAC on hour")
+	offHour := flag.Int("off", 21, "HVAC off hour")
+	flag.Parse()
+
+	if err := run(*in, *k, *seeds, *onHour, *offHour); err != nil {
+		fmt.Fprintln(os.Stderr, "selectsensors:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, k, seeds, onHour, offHour int) error {
+	if in == "" {
+		return fmt.Errorf("missing -i dataset.csv")
+	}
+	if seeds < 1 {
+		return fmt.Errorf("seeds %d must be positive", seeds)
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	frame, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	temps, inputs, sensors, err := dataset.FrameMatrices(frame)
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	for i := 0; i < temps.Rows(); i++ {
+		rows = append(rows, temps.RawRow(i))
+	}
+	for i := 0; i < inputs.Rows(); i++ {
+		rows = append(rows, inputs.RawRow(i))
+	}
+	mask, err := timeseries.ValidMask(rows)
+	if err != nil {
+		return err
+	}
+	wins := dataset.GridModeWindows(frame.Grid, dataset.Occupied, onHour, offHour)
+	trainWins, validWins := dataset.SplitWindows(wins)
+	trainX := dataset.CollectValid(temps, mask, trainWins)
+	validX := dataset.CollectValid(temps, mask, validWins)
+	if trainX.Cols() < 10 || validX.Cols() < 10 {
+		return fmt.Errorf("not enough gap-free steps (train %d, valid %d)", trainX.Cols(), validX.Cols())
+	}
+
+	w, err := cluster.SimilarityMatrix(trainX, cluster.Correlation)
+	if err != nil {
+		return err
+	}
+	res, err := cluster.SpectralCluster(w, k, cluster.SpectralOptions{Seed: 11})
+	if err != nil {
+		return err
+	}
+	members := res.Members()
+	fmt.Printf("%d clusters over %d sensors (train %d steps, validation %d steps)\n",
+		res.K, len(sensors), trainX.Cols(), validX.Cols())
+	for c, ms := range members {
+		fmt.Printf("cluster %d:", c+1)
+		for _, i := range ms {
+			fmt.Printf(" %s", sensors[i])
+		}
+		fmt.Println()
+	}
+
+	score := func(sel [][]int) (float64, error) {
+		errs, err := selection.ClusterMeanErrors(validX, members, sel)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Percentile(errs, 99)
+	}
+
+	fmt.Printf("\n%-8s %-10s %s\n", "method", "99pct err", "selected")
+	sms, err := selection.StratifiedNearMean(trainX, members)
+	if err != nil {
+		return err
+	}
+	smsSel := make([][]int, len(sms))
+	var smsNames []string
+	for c, i := range sms {
+		smsSel[c] = []int{i}
+		smsNames = append(smsNames, sensors[i])
+	}
+	v, err := score(smsSel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10.3f %v\n", "SMS", v, smsNames)
+
+	var srsSum, rsSum float64
+	for seed := 1; seed <= seeds; seed++ {
+		srs, err := selection.StratifiedRandom(members, 1, int64(seed))
+		if err != nil {
+			return err
+		}
+		if v, err = score(srs); err != nil {
+			return err
+		}
+		srsSum += v
+		rs, err := selection.SimpleRandom(len(sensors), res.K, int64(seed))
+		if err != nil {
+			return err
+		}
+		if v, err = score(selection.AssignToClusters(rs, res.K)); err != nil {
+			return err
+		}
+		rsSum += v
+	}
+	fmt.Printf("%-8s %-10.3f (mean of %d draws)\n", "SRS", srsSum/float64(seeds), seeds)
+	fmt.Printf("%-8s %-10.3f (mean of %d draws)\n", "RS", rsSum/float64(seeds), seeds)
+
+	cov, err := stats.CovarianceMatrix(trainX)
+	if err != nil {
+		return err
+	}
+	gp, err := selection.GreedyMI(cov, res.K)
+	if err != nil {
+		return err
+	}
+	var gpNames []string
+	for _, i := range gp {
+		gpNames = append(gpNames, sensors[i])
+	}
+	if v, err = score(selection.AssignToClusters(gp, res.K)); err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10.3f %v\n", "GP", v, gpNames)
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command sysid identifies first- and second-order thermal models from
+// a dataset CSV (as produced by audsim), evaluates their free-run
+// prediction error on held-out days and prints a per-sensor report.
+//
+// Usage:
+//
+//	sysid -i dataset.csv [-order 2] [-mode occupied] [-horizon 13h30m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"auditherm/internal/dataset"
+	"auditherm/internal/mat"
+	"auditherm/internal/stats"
+	"auditherm/internal/sysid"
+)
+
+func main() {
+	in := flag.String("i", "", "input dataset CSV (required)")
+	order := flag.Int("order", 2, "model order (1 or 2)")
+	modeName := flag.String("mode", "occupied", "operating mode: occupied or unoccupied")
+	horizon := flag.Duration("horizon", 13*time.Hour+30*time.Minute, "prediction horizon")
+	savePath := flag.String("save", "", "write the identified model as JSON to this path")
+	onHour := flag.Int("on", 6, "HVAC on hour")
+	offHour := flag.Int("off", 21, "HVAC off hour")
+	flag.Parse()
+
+	if err := run(*in, *order, *modeName, *horizon, *onHour, *offHour, *savePath); err != nil {
+		fmt.Fprintln(os.Stderr, "sysid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, orderN int, modeName string, horizon time.Duration, onHour, offHour int, savePath string) error {
+	if in == "" {
+		return fmt.Errorf("missing -i dataset.csv")
+	}
+	var order sysid.Order
+	switch orderN {
+	case 1:
+		order = sysid.FirstOrder
+	case 2:
+		order = sysid.SecondOrder
+	default:
+		return fmt.Errorf("order %d not supported (1 or 2)", orderN)
+	}
+	var mode dataset.Mode
+	switch modeName {
+	case "occupied":
+		mode = dataset.Occupied
+	case "unoccupied":
+		mode = dataset.Unoccupied
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	frame, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	temps, inputs, sensors, err := dataset.FrameMatrices(frame)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d sensors, %d inputs, %d steps at %v\n",
+		in, len(sensors), inputs.Rows(), frame.Grid.N, frame.Grid.Step)
+
+	wins := dataset.GridModeWindows(frame.Grid, mode, onHour, offHour)
+	usable := dataset.UsableWindows([]*mat.Dense{temps, inputs}, wins, 0.1)
+	if len(usable) < 4 {
+		return fmt.Errorf("only %d usable %v windows; need at least 4", len(usable), mode)
+	}
+	train, valid := dataset.SplitWindows(usable)
+	fmt.Printf("%v windows: %d usable (%d train / %d validation)\n", mode, len(usable), len(train), len(valid))
+
+	data := sysid.Data{Temps: temps, Inputs: inputs}
+	model, err := sysid.Fit(data, train, order, sysid.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	rho, err := model.SpectralRadius()
+	if err != nil {
+		return err
+	}
+	hSteps := int(horizon / frame.Grid.Step)
+	ev, err := sysid.Evaluate(model, data, valid, hSteps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%v model: spectral radius %.4f, %d windows evaluated, horizon %v (%d steps)\n",
+		order, rho, ev.Windows, horizon, hSteps)
+	fmt.Printf("%-8s %s\n", "sensor", "RMS (degC)")
+	for i, name := range sensors {
+		fmt.Printf("%-8s %.3f\n", name, ev.PerSensorRMS[i])
+	}
+	for _, q := range []float64{50, 90, 99} {
+		v, err := ev.RMSPercentile(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%2.0fth percentile RMS: %.3f degC\n", q, v)
+	}
+	med, err := stats.Percentile(ev.PerSensorRMS, 50)
+	if err == nil && med > 2 {
+		fmt.Println("warning: median RMS above 2 degC; check data quality or horizon")
+	}
+	if savePath != "" {
+		out, err := os.Create(savePath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", savePath, err)
+		}
+		defer out.Close()
+		inputNames := make([]string, inputs.Rows())
+		for i := range inputNames {
+			inputNames[i] = fmt.Sprintf("u%d", i+1)
+		}
+		if err := model.Save(out, &sysid.ModelNames{Sensors: sensors, Inputs: inputNames}); err != nil {
+			return err
+		}
+		fmt.Printf("model written to %s\n", savePath)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"auditherm/internal/dataset"
+	"auditherm/internal/sysid"
+)
+
+// writeTestCSV generates a short gap-light dataset for CLI tests.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.Days = 14
+	cfg.SimStep = time.Minute
+	cfg.MaxStale = 90 * time.Minute
+	cfg.NumLongOutages = 0
+	cfg.NumShortOutages = 2
+	cfg.NodeFailureProb = 0
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, d.Frame); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunIdentifiesAndSaves(t *testing.T) {
+	csv := writeTestCSV(t)
+	model := filepath.Join(filepath.Dir(csv), "model.json")
+	if err := run(csv, 2, "occupied", 5*time.Hour, 6, 21, model); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(model)
+	if err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	defer f.Close()
+	m, names, err := sysid.Load(f)
+	if err != nil {
+		t.Fatalf("loading saved model: %v", err)
+	}
+	if m.Order != sysid.SecondOrder || m.NumSensors() != 27 {
+		t.Errorf("saved model order %v sensors %d", m.Order, m.NumSensors())
+	}
+	if names == nil || len(names.Sensors) != 27 {
+		t.Errorf("saved names = %+v", names)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	csv := writeTestCSV(t)
+	if err := run("", 2, "occupied", time.Hour, 6, 21, ""); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run(csv, 3, "occupied", time.Hour, 6, 21, ""); err == nil {
+		t.Error("order 3 accepted")
+	}
+	if err := run(csv, 1, "weekend", time.Hour, 6, 21, ""); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 1, "occupied", time.Hour, 6, 21, ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}

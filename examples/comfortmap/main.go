@@ -1,0 +1,106 @@
+// Comfortmap simulates the auditorium through a fully-occupied seminar
+// and renders the Fanger PMV comfort field across the seating area —
+// the paper's motivation for spatially-aware HVAC control: one
+// thermostat pair cannot see that the back rows run warm while the
+// front runs cool.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"auditherm/internal/building"
+	"auditherm/internal/comfort"
+	"auditherm/internal/hvac"
+)
+
+func main() {
+	sim, err := building.NewSimulator(building.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plant, err := hvac.NewPlant(hvac.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Friday: HVAC wakes at 06:00, a 90-person seminar runs 12:00-13:30.
+	day := time.Date(2013, time.March, 22, 0, 0, 0, 0, time.UTC)
+	dt := 30 * time.Second
+	var thermo []building.Point
+	for _, sp := range building.AuditoriumSensors() {
+		if sp.Thermostat {
+			thermo = append(thermo, sp.Pos)
+		}
+	}
+	var at time.Time
+	for k := 0; k < 2880; k++ {
+		at = day.Add(time.Duration(k) * dt)
+		occupants := 0
+		lights := false
+		if h := at.Hour(); h == 12 || (h == 13 && at.Minute() < 30) {
+			occupants, lights = 90, true
+		}
+		reads := make([]float64, len(thermo))
+		for i, p := range thermo {
+			reads[i] = sim.TemperatureAt(p)
+		}
+		st, err := plant.Step(at, dt, reads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Step(dt, building.Inputs{
+			HVAC: st, Occupants: occupants, LightsOn: lights, Ambient: 8,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if at.Hour() == 13 && at.Minute() == 0 && at.Second() == 0 {
+			break // mid-seminar snapshot
+		}
+	}
+
+	fmt.Printf("PMV comfort field at %s, 90 occupants (front row at left)\n\n", at.Format("15:04"))
+	fmt.Println("legend: -- cold  -  cool  o  neutral  +  warm  ++ hot")
+	const nx, ny = 10, 8
+	for j := ny - 1; j >= 0; j-- {
+		for i := 0; i < nx; i++ {
+			p := building.Point{
+				X: (float64(i) + 0.5) * building.RoomDepth / nx,
+				Y: (float64(j) + 0.5) * building.RoomWidth / ny,
+			}
+			pmv, err := comfort.PMV(comfort.AuditoriumConditions(sim.TemperatureAt(p)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %-3s", pmvGlyph(pmv))
+		}
+		fmt.Println()
+	}
+
+	front := sim.TemperatureAt(building.Point{X: 1, Y: 7.5})
+	back := sim.TemperatureAt(building.Point{X: 19, Y: 7.5})
+	pmvF, _ := comfort.PMV(comfort.AuditoriumConditions(front))
+	pmvB, _ := comfort.PMV(comfort.AuditoriumConditions(back))
+	fmt.Printf("\nfront %.1f degC (PMV %+.2f)  back %.1f degC (PMV %+.2f)\n", front, pmvF, back, pmvB)
+	fmt.Printf("PPD: front %.0f%% dissatisfied, back %.0f%%\n", comfort.PPD(pmvF), comfort.PPD(pmvB))
+	if comfort.Comfortable(pmvF) != comfort.Comfortable(pmvB) {
+		fmt.Println("comfort differs across the room: thermostat-only control cannot see this")
+	}
+}
+
+// pmvGlyph buckets a PMV value for the ASCII map.
+func pmvGlyph(pmv float64) string {
+	switch {
+	case pmv < -1:
+		return "--"
+	case pmv < -0.5:
+		return "-"
+	case pmv <= 0.5:
+		return "o"
+	case pmv <= 1:
+		return "+"
+	default:
+		return "++"
+	}
+}

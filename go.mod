@@ -1,0 +1,3 @@
+module auditherm
+
+go 1.22

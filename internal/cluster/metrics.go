@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"auditherm/internal/mat"
+)
+
+// PairwiseMaxDiffs returns, for every pair of members, the maximum
+// absolute temperature difference over time (NaN columns skipped).
+// This is the paper's Figs. 7/8 intra-cluster metric: small values
+// mean any member can stand in for the cluster.
+func PairwiseMaxDiffs(x *mat.Dense, members []int) []float64 {
+	var out []float64
+	for a := 0; a < len(members); a++ {
+		for b := a + 1; b < len(members); b++ {
+			ri := x.RawRow(members[a])
+			rj := x.RawRow(members[b])
+			var mx float64
+			seen := false
+			for k := range ri {
+				vi, vj := ri[k], rj[k]
+				if math.IsNaN(vi) || math.IsNaN(vj) {
+					continue
+				}
+				seen = true
+				if d := math.Abs(vi - vj); d > mx {
+					mx = d
+				}
+			}
+			if seen {
+				out = append(out, mx)
+			}
+		}
+	}
+	return out
+}
+
+// MeanTrace returns the NaN-aware mean trace over the given member
+// rows: at each step, the mean of the members that have data (NaN if
+// none do).
+func MeanTrace(x *mat.Dense, members []int) ([]float64, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: mean trace of empty member set: %w", ErrDegenerate)
+	}
+	_, n := x.Dims()
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var sum float64
+		var cnt int
+		for _, i := range members {
+			v := x.At(i, k)
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			cnt++
+		}
+		if cnt == 0 {
+			out[k] = math.NaN()
+		} else {
+			out[k] = sum / float64(cnt)
+		}
+	}
+	return out, nil
+}
+
+// MeanOfTrace returns the NaN-aware scalar mean of a trace.
+func MeanOfTrace(xs []float64) float64 {
+	var sum float64
+	var cnt int
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			continue
+		}
+		sum += v
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / float64(cnt)
+}
+
+// Silhouette returns the mean silhouette coefficient of an assignment
+// over the given distance matrix: for each point, (b-a)/max(a,b) where
+// a is the mean distance to its own cluster and b the smallest mean
+// distance to another cluster. Values near 1 indicate tight,
+// well-separated clusters; singletons score 0 by convention.
+func Silhouette(dist *mat.Dense, assign []int, k int) (float64, error) {
+	n, m := dist.Dims()
+	if n != m {
+		return 0, fmt.Errorf("cluster: silhouette on %dx%d matrix: %w", n, m, mat.ErrShape)
+	}
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d points: %w", len(assign), n, ErrDegenerate)
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs k >= 2, got %d: %w", k, ErrDegenerate)
+	}
+	members := GroupMembers(assign, k)
+	var total float64
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		if c < 0 || c >= k {
+			return 0, fmt.Errorf("cluster: assignment %d outside [0,%d): %w", c, k, ErrDegenerate)
+		}
+		if len(members[c]) <= 1 {
+			continue // silhouette 0 for singletons
+		}
+		var a float64
+		for _, j := range members[c] {
+			if j != i {
+				a += dist.At(i, j)
+			}
+		}
+		a /= float64(len(members[c]) - 1)
+		b := math.Inf(1)
+		for oc, ms := range members {
+			if oc == c || len(ms) == 0 {
+				continue
+			}
+			var d float64
+			for _, j := range ms {
+				d += dist.At(i, j)
+			}
+			d /= float64(len(ms))
+			if d < b {
+				b = d
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // only one non-empty cluster
+		}
+		den := a
+		if b > den {
+			den = b
+		}
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n), nil
+}

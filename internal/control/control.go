@@ -1,0 +1,138 @@
+// Package control closes the loop the paper motivates: it uses the
+// identified thermal models (full or simplified) to drive the
+// auditorium's VAV plant, and provides the rule-based baselines real
+// buildings run today.
+//
+// The paper stops at modeling ("a practical foundation for HVAC
+// control and optimization"); this package is that next step, built so
+// the value of the simplified models can be measured end to end:
+// comfort delivered vs cooling energy spent under model-predictive
+// control with 27 sensors, with the 2 selected sensors, and under the
+// plant's own thermostat logic.
+package control
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBadConfig is returned (wrapped) for invalid controller parameters.
+var ErrBadConfig = errors.New("control: invalid configuration")
+
+// Observation is what a controller sees each decision step.
+type Observation struct {
+	// Time is the current instant.
+	Time time.Time
+	// SensorTemps are the controller's sensor readings, in the order
+	// the controller was configured with.
+	SensorTemps []float64
+	// Occupants is the current occupant count (from the camera).
+	Occupants float64
+	// LightsOn reports the lighting state.
+	LightsOn bool
+	// Ambient is the outdoor temperature.
+	Ambient float64
+}
+
+// Command is a controller's actuation decision.
+type Command struct {
+	// FlowPerVAV is the commanded airflow of each VAV in kg/s.
+	FlowPerVAV float64
+	// SupplyTemp is the commanded supply-air temperature in degC.
+	SupplyTemp float64
+}
+
+// Controller decides the plant actuation at each decision step.
+type Controller interface {
+	// Name identifies the controller in reports.
+	Name() string
+	// Decide returns the actuation for the coming decision interval.
+	Decide(obs Observation) (Command, error)
+}
+
+// FixedFlow is the simplest baseline: constant airflow at a constant
+// supply temperature whenever the schedule is on, minimum otherwise.
+type FixedFlow struct {
+	// OnHour and OffHour bound the active schedule.
+	OnHour, OffHour int
+	// Flow is the per-VAV airflow while on.
+	Flow float64
+	// MinFlow is the per-VAV airflow while off.
+	MinFlow float64
+	// CoolSupply and NeutralSupply are the supply temperatures used on
+	// and off schedule.
+	CoolSupply, NeutralSupply float64
+}
+
+var _ Controller = (*FixedFlow)(nil)
+
+// Name implements Controller.
+func (f *FixedFlow) Name() string { return "fixed-flow" }
+
+// Decide implements Controller.
+func (f *FixedFlow) Decide(obs Observation) (Command, error) {
+	h := obs.Time.Hour()
+	if h >= f.OnHour && h < f.OffHour {
+		return Command{FlowPerVAV: f.Flow, SupplyTemp: f.CoolSupply}, nil
+	}
+	return Command{FlowPerVAV: f.MinFlow, SupplyTemp: f.NeutralSupply}, nil
+}
+
+// Deadband is the plant's stock thermostat logic, reimplemented as a
+// Controller so it can run against the same metrics: base ventilation
+// in the deadband, proportional cold-air flow above it, warm supply
+// below it.
+type Deadband struct {
+	OnHour, OffHour            int
+	Setpoint, Band             float64
+	MinFlow, BaseFlow, MaxFlow float64
+	Gain                       float64
+	CoolSupply, NeutralSupply  float64
+	HeatSupply                 float64
+}
+
+var _ Controller = (*Deadband)(nil)
+
+// DefaultDeadband mirrors hvac.DefaultConfig.
+func DefaultDeadband() *Deadband {
+	return &Deadband{
+		OnHour: 6, OffHour: 21,
+		Setpoint: 21, Band: 0.3,
+		MinFlow: 0.05, BaseFlow: 0.24, MaxFlow: 0.6,
+		Gain:       0.35,
+		CoolSupply: 14, NeutralSupply: 20, HeatSupply: 28,
+	}
+}
+
+// Name implements Controller.
+func (d *Deadband) Name() string { return "deadband-thermostat" }
+
+// Decide implements Controller.
+func (d *Deadband) Decide(obs Observation) (Command, error) {
+	h := obs.Time.Hour()
+	if h < d.OnHour || h >= d.OffHour {
+		return Command{FlowPerVAV: d.MinFlow, SupplyTemp: d.NeutralSupply}, nil
+	}
+	if len(obs.SensorTemps) == 0 {
+		return Command{}, fmt.Errorf("control: deadband needs sensor readings: %w", ErrBadConfig)
+	}
+	var avg float64
+	for _, v := range obs.SensorTemps {
+		avg += v
+	}
+	avg /= float64(len(obs.SensorTemps))
+	err := avg - d.Setpoint
+	switch {
+	case err > d.Band:
+		flow := d.BaseFlow + d.Gain*(err-d.Band)
+		if flow > d.MaxFlow {
+			flow = d.MaxFlow
+		}
+		return Command{FlowPerVAV: flow, SupplyTemp: d.CoolSupply}, nil
+	case err < -d.Band:
+		return Command{FlowPerVAV: d.BaseFlow, SupplyTemp: d.HeatSupply}, nil
+	default:
+		return Command{FlowPerVAV: d.BaseFlow, SupplyTemp: d.NeutralSupply}, nil
+	}
+}

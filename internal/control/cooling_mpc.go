@@ -1,0 +1,148 @@
+package control
+
+import (
+	"fmt"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/sysid"
+)
+
+// CoolingMPCConfig parameterizes the cooling-power MPC.
+type CoolingMPCConfig struct {
+	// Model is an identified thermal model whose inputs are
+	// [cooling, occ, light, ambient], where cooling is the physical
+	// cooling power proxy q = totalFlow * (T_room - T_supply) in
+	// kg/s*K. Unlike the paper's flow-only input, this input has a
+	// sign-correct causal effect regardless of the plant's supply
+	// temperature mode, which control synthesis needs.
+	Model *sysid.Model
+	// NumVAVs converts the planned total flow into per-VAV commands.
+	NumVAVs int
+	// Setpoint is the comfort target.
+	Setpoint float64
+	// EnergyWeight trades cooling against comfort.
+	EnergyWeight float64
+	// Horizon is the lookahead in model steps.
+	Horizon int
+	// MinFlow and MaxFlow bound the per-VAV flow.
+	MinFlow, MaxFlow float64
+	// OnHour and OffHour bound the active schedule.
+	OnHour, OffHour int
+	// CoolSupply and NeutralSupply are the plant's supply temperatures
+	// for cooling and idle delivery; HeatSupply enables morning reheat
+	// (negative planned cooling) when above NeutralSupply.
+	CoolSupply, NeutralSupply, HeatSupply float64
+	// Iterations bounds the projected-gradient solve. Zero selects 60.
+	Iterations int
+}
+
+// CoolingMPC is a receding-horizon controller that plans in cooling
+// power and converts the first move into a flow + supply-temperature
+// command for the plant.
+type CoolingMPC struct {
+	cfg  CoolingMPCConfig
+	prev []float64
+}
+
+var _ Controller = (*CoolingMPC)(nil)
+
+// NewCoolingMPC validates cfg and returns the controller.
+func NewCoolingMPC(cfg CoolingMPCConfig) (*CoolingMPC, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("control: cooling MPC needs a model: %w", ErrBadConfig)
+	}
+	if cfg.Model.NumInputs() != 4 {
+		return nil, fmt.Errorf("control: cooling MPC model has %d inputs, want [cooling occ light ambient]: %w",
+			cfg.Model.NumInputs(), ErrBadConfig)
+	}
+	if cfg.NumVAVs <= 0 {
+		return nil, fmt.Errorf("control: cooling MPC NumVAVs %d: %w", cfg.NumVAVs, ErrBadConfig)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("control: cooling MPC horizon %d: %w", cfg.Horizon, ErrBadConfig)
+	}
+	if cfg.MinFlow < 0 || cfg.MaxFlow <= cfg.MinFlow {
+		return nil, fmt.Errorf("control: cooling MPC flow bounds [%v, %v]: %w",
+			cfg.MinFlow, cfg.MaxFlow, ErrBadConfig)
+	}
+	if cfg.EnergyWeight < 0 {
+		return nil, fmt.Errorf("control: cooling MPC energy weight %v: %w", cfg.EnergyWeight, ErrBadConfig)
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 60
+	}
+	return &CoolingMPC{cfg: cfg}, nil
+}
+
+// Name implements Controller.
+func (m *CoolingMPC) Name() string { return "cooling-mpc" }
+
+// Decide implements Controller.
+func (m *CoolingMPC) Decide(obs Observation) (Command, error) {
+	cfg := m.cfg
+	p := cfg.Model.NumSensors()
+	if len(obs.SensorTemps) != p {
+		return Command{}, fmt.Errorf("control: cooling MPC got %d sensor readings, model has %d outputs: %w",
+			len(obs.SensorTemps), p, ErrBadConfig)
+	}
+	prev := m.prev
+	if prev == nil {
+		prev = append([]float64(nil), obs.SensorTemps...)
+	}
+	m.prev = append([]float64(nil), obs.SensorTemps...)
+
+	h := obs.Time.Hour()
+	if h < cfg.OnHour || h >= cfg.OffHour {
+		return Command{FlowPerVAV: cfg.MinFlow, SupplyTemp: cfg.NeutralSupply}, nil
+	}
+
+	// Mean observed temperature sets the flow-to-power conversions.
+	var mean float64
+	for _, v := range obs.SensorTemps {
+		mean += v
+	}
+	mean /= float64(p)
+	coolLift := mean - cfg.CoolSupply
+	if coolLift < 1 {
+		coolLift = 1 // room nearly at supply temperature: conversion floor
+	}
+	maxCooling := float64(cfg.NumVAVs) * cfg.MaxFlow * coolLift
+	var maxHeating float64
+	heatLift := cfg.HeatSupply - mean
+	if cfg.HeatSupply > cfg.NeutralSupply && heatLift > 1 {
+		maxHeating = float64(cfg.NumVAVs) * cfg.MaxFlow * heatLift
+	}
+
+	base := baselineInputs(4, cfg.Horizon, obs, func(in *mat.Dense, k int) {
+		in.Set(0, k, 0)
+	}, 1)
+	q, err := planShared(cfg.Model, obs.SensorTemps, prev, base, []int{0},
+		-maxHeating, maxCooling, cfg.Setpoint, cfg.EnergyWeight, cfg.Iterations)
+	if err != nil {
+		return Command{}, err
+	}
+
+	minVent := float64(cfg.NumVAVs) * cfg.MinFlow
+	maxTotal := float64(cfg.NumVAVs) * cfg.MaxFlow
+	switch {
+	case q < 0 && maxHeating > 0:
+		totalFlow := -q / heatLift
+		if totalFlow <= minVent {
+			return Command{FlowPerVAV: cfg.MinFlow, SupplyTemp: cfg.NeutralSupply}, nil
+		}
+		if totalFlow > maxTotal {
+			totalFlow = maxTotal
+		}
+		return Command{FlowPerVAV: totalFlow / float64(cfg.NumVAVs), SupplyTemp: cfg.HeatSupply}, nil
+	default:
+		totalFlow := q / coolLift
+		if totalFlow <= minVent {
+			// Ventilation only; deliver neutral air.
+			return Command{FlowPerVAV: cfg.MinFlow, SupplyTemp: cfg.NeutralSupply}, nil
+		}
+		if totalFlow > maxTotal {
+			totalFlow = maxTotal
+		}
+		return Command{FlowPerVAV: totalFlow / float64(cfg.NumVAVs), SupplyTemp: cfg.CoolSupply}, nil
+	}
+}

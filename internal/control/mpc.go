@@ -1,0 +1,234 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/sysid"
+)
+
+// MPCConfig parameterizes the model-predictive controller.
+type MPCConfig struct {
+	// Model is the identified thermal model; its outputs are the
+	// sensors the controller observes (all 27, or the selected
+	// representatives for a simplified controller).
+	Model *sysid.Model
+	// NumVAVs is how many VAV boxes share the commanded flow.
+	NumVAVs int
+	// Setpoint is the comfort target in degC.
+	Setpoint float64
+	// EnergyWeight trades cooling energy against comfort: the cost is
+	// sum (T - setpoint)^2 + EnergyWeight * sum flow.
+	EnergyWeight float64
+	// Horizon is the lookahead in model steps.
+	Horizon int
+	// MinFlow and MaxFlow bound the per-VAV flow decision.
+	MinFlow, MaxFlow float64
+	// OnHour and OffHour bound the active schedule; outside it the
+	// controller commands MinFlow.
+	OnHour, OffHour int
+	// CoolSupply and NeutralSupply are the supply temperatures the
+	// plant uses when the controller demands cooling or idles. The
+	// identified model has no supply-temperature input (the paper's
+	// eq. 1 uses airflow only), so the supply command follows the same
+	// rule the training data was generated under.
+	CoolSupply, NeutralSupply float64
+	// Iterations bounds the projected-gradient solve. Zero selects 60.
+	Iterations int
+}
+
+// MPC is a receding-horizon controller on an identified thermal model.
+// Each decision solves a box-constrained quadratic program in the flow
+// sequence by projected gradient, applies the first move and re-plans
+// at the next step. Occupancy, lighting and ambient are forecast by
+// persistence.
+type MPC struct {
+	cfg MPCConfig
+	// prev holds the previous observation's temperatures for the
+	// second-order model's trend state.
+	prev []float64
+}
+
+var _ Controller = (*MPC)(nil)
+
+// NewMPC validates cfg and returns the controller.
+func NewMPC(cfg MPCConfig) (*MPC, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("control: MPC needs a model: %w", ErrBadConfig)
+	}
+	if cfg.NumVAVs <= 0 {
+		return nil, fmt.Errorf("control: MPC NumVAVs %d: %w", cfg.NumVAVs, ErrBadConfig)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("control: MPC horizon %d: %w", cfg.Horizon, ErrBadConfig)
+	}
+	if cfg.MinFlow < 0 || cfg.MaxFlow <= cfg.MinFlow {
+		return nil, fmt.Errorf("control: MPC flow bounds [%v, %v]: %w", cfg.MinFlow, cfg.MaxFlow, ErrBadConfig)
+	}
+	if cfg.EnergyWeight < 0 {
+		return nil, fmt.Errorf("control: MPC energy weight %v: %w", cfg.EnergyWeight, ErrBadConfig)
+	}
+	// The model's inputs must be [VAV flows..., occ, light, ambient].
+	if cfg.Model.NumInputs() != cfg.NumVAVs+3 {
+		return nil, fmt.Errorf("control: model has %d inputs, want %d VAV flows + occ/light/ambient: %w",
+			cfg.Model.NumInputs(), cfg.NumVAVs, ErrBadConfig)
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 60
+	}
+	return &MPC{cfg: cfg}, nil
+}
+
+// Name implements Controller.
+func (m *MPC) Name() string { return "mpc" }
+
+// Decide implements Controller.
+func (m *MPC) Decide(obs Observation) (Command, error) {
+	p := m.cfg.Model.NumSensors()
+	if len(obs.SensorTemps) != p {
+		return Command{}, fmt.Errorf("control: MPC got %d sensor readings, model has %d outputs: %w",
+			len(obs.SensorTemps), p, ErrBadConfig)
+	}
+	// Maintain the trend state across calls.
+	prev := m.prev
+	if prev == nil {
+		prev = append([]float64(nil), obs.SensorTemps...)
+	}
+	m.prev = append([]float64(nil), obs.SensorTemps...)
+
+	h := obs.Time.Hour()
+	if h < m.cfg.OnHour || h >= m.cfg.OffHour {
+		return Command{FlowPerVAV: m.cfg.MinFlow, SupplyTemp: m.cfg.NeutralSupply}, nil
+	}
+
+	flow, err := m.plan(obs, prev)
+	if err != nil {
+		return Command{}, err
+	}
+	supply := m.cfg.NeutralSupply
+	// The plant delivers cold air when the controller demands flow
+	// beyond ventilation minimum (the regime the model was trained in).
+	if flow > m.cfg.MinFlow+0.25*(m.cfg.MaxFlow-m.cfg.MinFlow) {
+		supply = m.cfg.CoolSupply
+	}
+	return Command{FlowPerVAV: flow, SupplyTemp: supply}, nil
+}
+
+// plan solves for the flow sequence and returns the first move.
+func (m *MPC) plan(obs Observation, prev []float64) (float64, error) {
+	cfg := m.cfg
+	base := baselineInputs(cfg.Model.NumInputs(), cfg.Horizon, obs, func(in *mat.Dense, k int) {
+		for v := 0; v < cfg.NumVAVs; v++ {
+			in.Set(v, k, cfg.MinFlow)
+		}
+	}, cfg.NumVAVs)
+	channels := make([]int, cfg.NumVAVs)
+	for v := range channels {
+		channels[v] = v
+	}
+	u, err := planShared(cfg.Model, obs.SensorTemps, prev, base, channels,
+		0, cfg.MaxFlow-cfg.MinFlow, cfg.Setpoint, cfg.EnergyWeight, cfg.Iterations)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.MinFlow + u, nil
+}
+
+// baselineInputs builds the persistence-forecast input matrix: the
+// control channels are initialized by setCtrl and occupancy, lighting
+// and ambient fill rows ctrlRows, ctrlRows+1, ctrlRows+2.
+func baselineInputs(mi, h int, obs Observation, setCtrl func(*mat.Dense, int), ctrlRows int) *mat.Dense {
+	base := mat.NewDense(mi, h)
+	light := 0.0
+	if obs.LightsOn {
+		light = 1
+	}
+	for k := 0; k < h; k++ {
+		setCtrl(base, k)
+		base.Set(ctrlRows, k, obs.Occupants)
+		base.Set(ctrlRows+1, k, light)
+		base.Set(ctrlRows+2, k, obs.Ambient)
+	}
+	return base
+}
+
+// planShared solves the box-constrained quadratic program shared by
+// the MPC variants: choose a scalar control sequence u in
+// [umin, umax]^h, applied additively on the given input channels,
+// minimizing sum (T - setpoint)^2 + w * sum |u|, by projected gradient.
+func planShared(model *sysid.Model, t0, prev []float64, base *mat.Dense, channels []int,
+	umin, umax, setpoint, energyWeight float64, iters int) (float64, error) {
+	p := model.NumSensors()
+	mi, h := base.Dims()
+	free, err := model.Simulate(t0, prev, base)
+	if err != nil {
+		return 0, err
+	}
+	// Impulse response to one unit of control at step 0 (zero state,
+	// zero inputs elsewhere); linearity shifts it for later steps.
+	impulseIn := mat.NewDense(mi, h)
+	for _, c := range channels {
+		impulseIn.Set(c, 0, 1)
+	}
+	zero := make([]float64, p)
+	impulse, err := model.Simulate(zero, zero, impulseIn)
+	if err != nil {
+		return 0, err
+	}
+
+	u := make([]float64, h)
+	grad := make([]float64, h)
+	tPred := mat.NewDense(p, h)
+	var gNorm float64
+	for k := 0; k < h; k++ {
+		for i := 0; i < p; i++ {
+			gNorm += impulse.At(i, k) * impulse.At(i, k)
+		}
+	}
+	step := 1.0 / (2*gNorm*float64(h) + 1e-9)
+	for it := 0; it < iters; it++ {
+		for k := 0; k < h; k++ {
+			for i := 0; i < p; i++ {
+				v := free.At(i, k)
+				for j := 0; j <= k; j++ {
+					v += impulse.At(i, k-j) * u[j]
+				}
+				tPred.Set(i, k, v)
+			}
+		}
+		for j := 0; j < h; j++ {
+			g := 0.0
+			switch {
+			case u[j] > 0:
+				g = energyWeight
+			case u[j] < 0:
+				g = -energyWeight
+			}
+			for k := j; k < h; k++ {
+				for i := 0; i < p; i++ {
+					g += 2 * (tPred.At(i, k) - setpoint) * impulse.At(i, k-j)
+				}
+			}
+			grad[j] = g
+		}
+		moved := false
+		for j := 0; j < h; j++ {
+			nu := u[j] - step*grad[j]
+			if nu < umin {
+				nu = umin
+			}
+			if nu > umax {
+				nu = umax
+			}
+			if math.Abs(nu-u[j]) > 1e-12 {
+				moved = true
+			}
+			u[j] = nu
+		}
+		if !moved {
+			break
+		}
+	}
+	return u[0], nil
+}

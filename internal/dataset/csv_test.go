@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"auditherm/internal/timeseries"
+)
+
+func csvTestFrame(t *testing.T) *timeseries.Frame {
+	t.Helper()
+	g, err := timeseries.NewGrid(
+		time.Date(2013, time.January, 31, 0, 0, 0, 0, time.UTC),
+		time.Date(2013, time.January, 31, 1, 0, 0, 0, time.UTC),
+		15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := timeseries.NewFrame(g, []string{"s1", "occ"})
+	if err := f.SetChannel("s1", []float64{20.5, math.NaN(), 21, 21.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetChannel("occ", []float64{0, 5, 10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := csvTestFrame(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, f); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Grid.N != f.Grid.N || got.Grid.Step != f.Grid.Step || !got.Grid.Start.Equal(f.Grid.Start) {
+		t.Fatalf("grid mismatch: %+v vs %+v", got.Grid, f.Grid)
+	}
+	if len(got.Channels) != 2 || got.Channels[0] != "s1" || got.Channels[1] != "occ" {
+		t.Fatalf("channels = %v", got.Channels)
+	}
+	for i := range f.Values {
+		for k := range f.Values[i] {
+			a, b := f.Values[i][k], got.Values[i][k]
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				t.Errorf("channel %d step %d: %v vs %v", i, k, a, b)
+			}
+		}
+	}
+}
+
+func TestCSVMissingCellsEmpty(t *testing.T) {
+	f := csvTestFrame(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	// Second data row has the NaN.
+	if !strings.Contains(lines[2], ",,") && !strings.HasSuffix(lines[2], ",") {
+		t.Errorf("NaN row %q has no empty cell", lines[2])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"header only", "time,s1\n"},
+		{"one row", "time,s1\n2013-01-31T00:00:00Z,20\n"},
+		{"bad header", "when,s1\n2013-01-31T00:00:00Z,20\n2013-01-31T00:15:00Z,21\n"},
+		{"bad timestamp", "time,s1\nnope,20\n2013-01-31T00:15:00Z,21\n"},
+		{"reversed timestamps", "time,s1\n2013-01-31T00:15:00Z,20\n2013-01-31T00:00:00Z,21\n"},
+		{"irregular grid", "time,s1\n2013-01-31T00:00:00Z,20\n2013-01-31T00:15:00Z,21\n2013-01-31T00:35:00Z,22\n"},
+		{"bad float", "time,s1\n2013-01-31T00:00:00Z,x\n2013-01-31T00:15:00Z,21\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCSVGeneratedDataset(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Days = 2
+	d := mustGenerate(t, cfg)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d.Frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MissingFraction() != d.Frame.MissingFraction() {
+		t.Errorf("missing fraction changed: %v vs %v", got.MissingFraction(), d.Frame.MissingFraction())
+	}
+}

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/timeseries"
+)
+
+// ClassifyChannels splits a frame's channel names into temperature
+// sensors and model inputs by the dataset naming convention: sensors
+// are "s<N>", inputs are "vav<N>" (sorted numerically) followed by
+// occupancy, light and ambient. Unknown channels (e.g. "supply") are
+// ignored.
+func ClassifyChannels(channels []string) (sensors, inputs []string, err error) {
+	var vavs []string
+	var hasOcc, hasLight, hasAmbient bool
+	for _, c := range channels {
+		switch {
+		case strings.HasPrefix(c, "s") && len(c) > 1 && isDigits(c[1:]):
+			sensors = append(sensors, c)
+		case strings.HasPrefix(c, "vav"):
+			vavs = append(vavs, c)
+		case c == ChannelOccupancy:
+			hasOcc = true
+		case c == ChannelLight:
+			hasLight = true
+		case c == ChannelAmbient:
+			hasAmbient = true
+		}
+	}
+	if len(sensors) == 0 {
+		return nil, nil, fmt.Errorf("dataset: no sensor channels (s<N>) found")
+	}
+	if len(vavs) == 0 || !hasOcc || !hasLight || !hasAmbient {
+		return nil, nil, fmt.Errorf("dataset: missing input channels (need vav*, occ, light, ambient)")
+	}
+	sort.Slice(vavs, func(i, j int) bool { return vavs[i] < vavs[j] })
+	inputs = append(vavs, ChannelOccupancy, ChannelLight, ChannelAmbient)
+	return sensors, inputs, nil
+}
+
+func isDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// FrameMatrices builds the temperature and input matrices of a frame
+// using ClassifyChannels.
+func FrameMatrices(f *timeseries.Frame) (temps, inputs *mat.Dense, sensors []string, err error) {
+	sensors, inputNames, err := ClassifyChannels(f.Channels)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	temps = mat.NewDense(len(sensors), f.Grid.N)
+	for i, name := range sensors {
+		vals, err := f.Channel(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		temps.SetRow(i, vals)
+	}
+	inputs = mat.NewDense(len(inputNames), f.Grid.N)
+	for i, name := range inputNames {
+		vals, err := f.Channel(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		inputs.SetRow(i, vals)
+	}
+	return temps, inputs, sensors, nil
+}
+
+// GridModeWindows returns the per-day windows of the given mode across
+// a whole grid, using the HVAC schedule hours.
+func GridModeWindows(g timeseries.Grid, mode Mode, onHour, offHour int) []timeseries.Segment {
+	spd := int(24 * time.Hour / g.Step)
+	days := g.N / spd
+	if g.N%spd != 0 {
+		days++
+	}
+	onStep := onHour * spd / 24
+	offStep := offHour * spd / 24
+	var out []timeseries.Segment
+	for day := 0; day < days; day++ {
+		var seg timeseries.Segment
+		if mode == Occupied {
+			seg = timeseries.Segment{Start: day*spd + onStep, End: day*spd + offStep}
+		} else {
+			seg = timeseries.Segment{Start: day*spd + offStep, End: (day+1)*spd + onStep}
+		}
+		if seg.Start >= g.N {
+			break
+		}
+		if seg.End > g.N {
+			seg.End = g.N
+		}
+		out = append(out, seg)
+	}
+	return out
+}
+
+// UsableWindows keeps the windows whose missing fraction (any of the
+// given matrices' rows absent) is at most maxMissing.
+func UsableWindows(mats []*mat.Dense, wins []timeseries.Segment, maxMissing float64) []timeseries.Segment {
+	var out []timeseries.Segment
+	for _, w := range wins {
+		total := w.Len()
+		if total == 0 {
+			continue
+		}
+		missing := 0
+		for k := w.Start; k < w.End; k++ {
+			ok := true
+		scan:
+			for _, m := range mats {
+				for i := 0; i < m.Rows(); i++ {
+					if math.IsNaN(m.At(i, k)) {
+						ok = false
+						break scan
+					}
+				}
+			}
+			if !ok {
+				missing++
+			}
+		}
+		if float64(missing)/float64(total) <= maxMissing {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// SplitWindows divides windows into train and validation halves in
+// order.
+func SplitWindows(wins []timeseries.Segment) (train, valid []timeseries.Segment) {
+	half := len(wins) / 2
+	return wins[:half], wins[half:]
+}

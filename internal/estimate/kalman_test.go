@@ -1,0 +1,230 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/stats"
+	"auditherm/internal/sysid"
+)
+
+// synth builds a 3-sensor coupled first-order system plus a data
+// generator with process and measurement noise.
+func synthModel() *sysid.Model {
+	return &sysid.Model{
+		Order: sysid.FirstOrder,
+		A: mat.NewDenseData(3, 3, []float64{
+			0.90, 0.05, 0.02,
+			0.05, 0.88, 0.04,
+			0.02, 0.05, 0.91,
+		}),
+		B: mat.NewDenseData(3, 2, []float64{
+			0.5, 0.1,
+			0.3, 0.2,
+			0.2, 0.4,
+		}),
+	}
+}
+
+func generate(rng *rand.Rand, m *sysid.Model, n int, procStd float64) (truth, inputs *mat.Dense) {
+	truth = mat.NewDense(3, n)
+	inputs = mat.NewDense(2, n)
+	cur := []float64{20, 21, 22}
+	for k := 0; k < n; k++ {
+		u := []float64{1 + rng.Float64(), 2 * rng.Float64()}
+		inputs.SetCol(k, u)
+		truth.SetCol(k, cur)
+		next, _ := m.Predict(cur, nil, u)
+		for i := range next {
+			next[i] += rng.NormFloat64() * procStd
+		}
+		cur = next
+	}
+	return truth, inputs
+}
+
+func TestNewFilterValidation(t *testing.T) {
+	m := synthModel()
+	init := []float64{20, 20, 20}
+	cases := []struct {
+		name string
+		cfg  Config
+		init []float64
+		pv   float64
+	}{
+		{"nil model", Config{ObservedRows: []int{0}, ProcessVar: 1, MeasureVar: 1}, init, 1},
+		{"short init", Config{Model: m, ObservedRows: []int{0}, ProcessVar: 1, MeasureVar: 1}, []float64{20}, 1},
+		{"no observed", Config{Model: m, ProcessVar: 1, MeasureVar: 1}, init, 1},
+		{"bad row", Config{Model: m, ObservedRows: []int{5}, ProcessVar: 1, MeasureVar: 1}, init, 1},
+		{"dup row", Config{Model: m, ObservedRows: []int{0, 0}, ProcessVar: 1, MeasureVar: 1}, init, 1},
+		{"zero process var", Config{Model: m, ObservedRows: []int{0}, MeasureVar: 1}, init, 1},
+		{"zero prior", Config{Model: m, ObservedRows: []int{0}, ProcessVar: 1, MeasureVar: 1}, init, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewFilter(c.cfg, c.init, c.pv); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", c.name, err)
+		}
+	}
+}
+
+func TestFilterTracksFullyObserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := synthModel()
+	truth, inputs := generate(rng, m, 300, 0.05)
+	f, err := NewFilter(Config{
+		Model: m, ObservedRows: []int{0, 1, 2},
+		ProcessVar: 0.01, MeasureVar: 0.04,
+	}, truth.Col(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for k := 0; k+1 < 300; k++ {
+		z := make([]float64, 3)
+		for i := range z {
+			z[i] = truth.At(i, k+1) + rng.NormFloat64()*0.2
+		}
+		if err := f.Step(inputs.Col(k), z); err != nil {
+			t.Fatal(err)
+		}
+		if k > 20 {
+			est := f.Estimate()
+			for i := range est {
+				errs = append(errs, est[i]-truth.At(i, k+1))
+			}
+		}
+	}
+	if rms := stats.RMS(errs); rms > 0.2 {
+		t.Errorf("fully-observed RMS %v, want below measurement noise", rms)
+	}
+}
+
+func TestFilterVirtualSensingBeatsOpenLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	m := synthModel()
+	truth, inputs := generate(rng, m, 400, 0.08)
+	// Observe only sensor 0; estimate sensors 1 and 2.
+	f, err := NewFilter(Config{
+		Model: m, ObservedRows: []int{0},
+		ProcessVar: 0.01, MeasureVar: 0.04,
+	}, truth.Col(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := append([]float64(nil), truth.Col(0)...)
+	var kfErrs, openErrs []float64
+	for k := 0; k+1 < 400; k++ {
+		z := []float64{truth.At(0, k+1) + rng.NormFloat64()*0.2}
+		if err := f.Step(inputs.Col(k), z); err != nil {
+			t.Fatal(err)
+		}
+		open, _ = m.Predict(open, nil, inputs.Col(k))
+		if k > 50 {
+			est := f.Estimate()
+			for _, i := range []int{1, 2} {
+				kfErrs = append(kfErrs, est[i]-truth.At(i, k+1))
+				openErrs = append(openErrs, open[i]-truth.At(i, k+1))
+			}
+		}
+	}
+	kfRMS, openRMS := stats.RMS(kfErrs), stats.RMS(openErrs)
+	if kfRMS >= openRMS {
+		t.Errorf("KF virtual sensing RMS %v not below open-loop %v", kfRMS, openRMS)
+	}
+}
+
+func TestFilterPredictOnlyDuringOutage(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	m := synthModel()
+	truth, inputs := generate(rng, m, 100, 0.02)
+	f, err := NewFilter(Config{
+		Model: m, ObservedRows: []int{0},
+		ProcessVar: 0.01, MeasureVar: 0.04,
+	}, truth.Col(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k+1 < 100; k++ {
+		var z []float64
+		if k%3 != 0 { // a third of the measurements lost
+			z = []float64{truth.At(0, k+1) + rng.NormFloat64()*0.2}
+		}
+		if err := f.Step(inputs.Col(k), z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range f.Estimate() {
+		if math.IsNaN(v) {
+			t.Fatal("estimate diverged with intermittent measurements")
+		}
+	}
+	for _, v := range f.Variance() {
+		if v <= 0 || v > 100 {
+			t.Errorf("variance %v out of range", v)
+		}
+	}
+}
+
+func TestFilterSecondOrderModel(t *testing.T) {
+	// A second-order model round-trips through the companion form.
+	m := &sysid.Model{
+		Order: sysid.SecondOrder,
+		A:     mat.NewDenseData(2, 2, []float64{0.8, 0.05, 0.05, 0.85}),
+		A2:    mat.NewDenseData(2, 2, []float64{0.2, 0, 0, 0.15}),
+		B:     mat.NewDenseData(2, 1, []float64{0.4, 0.3}),
+	}
+	rng := rand.New(rand.NewSource(74))
+	n := 200
+	truth := mat.NewDense(2, n)
+	inputs := mat.NewDense(1, n)
+	cur := []float64{20, 21}
+	prev := []float64{20, 21}
+	for k := 0; k < n; k++ {
+		u := []float64{1 + rng.Float64()}
+		inputs.SetCol(k, u)
+		truth.SetCol(k, cur)
+		dt := []float64{cur[0] - prev[0], cur[1] - prev[1]}
+		next, _ := m.Predict(cur, dt, u)
+		prev, cur = cur, next
+	}
+	f, err := NewFilter(Config{
+		Model: m, ObservedRows: []int{0},
+		ProcessVar: 1e-6, MeasureVar: 1e-4,
+	}, truth.Col(0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for k := 0; k+1 < n; k++ {
+		z := []float64{truth.At(0, k+1)}
+		if err := f.Step(inputs.Col(k), z); err != nil {
+			t.Fatal(err)
+		}
+		if k > 50 {
+			errs = append(errs, f.Estimate()[1]-truth.At(1, k+1))
+		}
+	}
+	if rms := stats.RMS(errs); rms > 0.05 {
+		t.Errorf("noise-free second-order virtual sensing RMS %v, want ~0", rms)
+	}
+}
+
+func TestFilterStepErrors(t *testing.T) {
+	m := synthModel()
+	f, err := NewFilter(Config{
+		Model: m, ObservedRows: []int{0},
+		ProcessVar: 0.01, MeasureVar: 0.04,
+	}, []float64{20, 20, 20}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Step([]float64{1}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("short input err = %v", err)
+	}
+	if err := f.Step([]float64{1, 2}, []float64{1, 2}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("long measurement err = %v", err)
+	}
+}

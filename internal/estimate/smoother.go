@@ -1,0 +1,161 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"auditherm/internal/mat"
+)
+
+// Smooth runs a fixed-interval Rauch-Tung-Striebel smoother over a
+// whole trace: a forward Kalman pass followed by a backward pass that
+// conditions every step on the future as well as the past. Use it for
+// offline reconstruction — infilling sensor outages, cleaning a trace
+// before re-identification — where the filter's forward-only estimates
+// are unnecessarily noisy.
+//
+// temps is p x N with NaN where a sensor is missing; every non-NaN
+// entry of an observed row is used as a measurement. inputs is m x N
+// and must be gap-free over [k0, k1). The result is a p x (k1-k0)
+// matrix of smoothed estimates for steps k0..k1-1.
+func Smooth(cfg Config, temps, inputs *mat.Dense, k0, k1 int) (*mat.Dense, error) {
+	if temps == nil || inputs == nil {
+		return nil, fmt.Errorf("estimate: smoother needs temps and inputs: %w", ErrBadConfig)
+	}
+	p, n := temps.Dims()
+	if cfg.Model == nil || cfg.Model.NumSensors() != p {
+		return nil, fmt.Errorf("estimate: smoother model/temps mismatch: %w", ErrBadConfig)
+	}
+	if k0 < 0 || k1 > n || k1-k0 < 2 {
+		return nil, fmt.Errorf("estimate: smoother span [%d,%d) invalid for %d steps: %w", k0, k1, n, ErrBadConfig)
+	}
+	if _, ni := inputs.Dims(); ni != n {
+		return nil, fmt.Errorf("estimate: inputs cover %d steps, temps %d: %w", ni, n, ErrBadConfig)
+	}
+	// Initial state from the first step's observations (NaN rows start
+	// at the observed mean).
+	init := make([]float64, p)
+	var obsSum float64
+	var obsN int
+	for i := 0; i < p; i++ {
+		if v := temps.At(i, k0); !math.IsNaN(v) {
+			obsSum += v
+			obsN++
+		}
+	}
+	if obsN == 0 {
+		return nil, fmt.Errorf("estimate: no observations at smoother start %d: %w", k0, ErrBadConfig)
+	}
+	mean := obsSum / float64(obsN)
+	for i := 0; i < p; i++ {
+		if v := temps.At(i, k0); !math.IsNaN(v) {
+			init[i] = v
+		} else {
+			init[i] = mean
+		}
+	}
+	f, err := NewFilter(cfg, init, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	span := k1 - k0
+	nState := f.n
+	// Forward pass, storing predicted and filtered moments.
+	xPred := make([][]float64, span)
+	xFilt := make([][]float64, span)
+	pPred := make([]*mat.Dense, span)
+	pFilt := make([]*mat.Dense, span)
+	xFilt[0] = append([]float64(nil), f.x...)
+	pFilt[0] = f.cov.Clone()
+	xPred[0] = xFilt[0]
+	pPred[0] = pFilt[0]
+	for k := 1; k < span; k++ {
+		u := inputs.Col(k0 + k - 1)
+		// Predict-only to capture the prior moments.
+		if err := f.Step(u, nil); err != nil {
+			return nil, err
+		}
+		xPred[k] = append([]float64(nil), f.x...)
+		pPred[k] = f.cov.Clone()
+		// Measurement update with whatever is observed at this step.
+		var z []float64
+		var rows []int
+		for _, r := range f.cfg.ObservedRows {
+			if v := temps.At(r, k0+k); !math.IsNaN(v) {
+				z = append(z, v)
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) > 0 {
+			if err := f.update(rows, z); err != nil {
+				return nil, err
+			}
+		}
+		xFilt[k] = append([]float64(nil), f.x...)
+		pFilt[k] = f.cov.Clone()
+	}
+
+	// Backward RTS pass.
+	xs := append([]float64(nil), xFilt[span-1]...)
+	out := mat.NewDense(p, span)
+	out.SetCol(span-1, xs[:p])
+	xSmooth := xs
+	pSmooth := pFilt[span-1].Clone()
+	for k := span - 2; k >= 0; k-- {
+		// Gain C = P_filt[k] F^T P_pred[k+1]^-1.
+		predInv, err := mat.Inverse(regularized(pPred[k+1]))
+		if err != nil {
+			return nil, fmt.Errorf("estimate: smoother gain at step %d: %w", k, err)
+		}
+		c := pFilt[k].Mul(f.f.T()).Mul(predInv)
+		diff := make([]float64, nState)
+		for i := range diff {
+			diff[i] = xSmooth[i] - xPred[k+1][i]
+		}
+		xNew := append([]float64(nil), xFilt[k]...)
+		mat.Axpy(1, c.MulVec(diff), xNew)
+		pDiff := pSmooth.Sub(pPred[k+1])
+		pSmooth = pFilt[k].Add(c.Mul(pDiff).Mul(c.T()))
+		xSmooth = xNew
+		out.SetCol(k, xSmooth[:p])
+	}
+	return out, nil
+}
+
+// regularized adds a small diagonal jitter before inversion.
+func regularized(m *mat.Dense) *mat.Dense {
+	out := m.Clone()
+	n := out.Rows()
+	for i := 0; i < n; i++ {
+		out.Set(i, i, out.At(i, i)+1e-9)
+	}
+	return out
+}
+
+// update applies a measurement update on an arbitrary subset of rows
+// (used by the smoother when only some observed sensors have data).
+func (f *Filter) update(rows []int, z []float64) error {
+	h := mat.NewDense(len(rows), f.n)
+	for i, r := range rows {
+		h.Set(i, r, 1)
+	}
+	ph := f.cov.Mul(h.T())
+	s := h.Mul(ph)
+	for i := 0; i < s.Rows(); i++ {
+		s.Set(i, i, s.At(i, i)+f.cfg.MeasureVar)
+	}
+	sInv, err := mat.Inverse(s)
+	if err != nil {
+		return fmt.Errorf("estimate: innovation covariance: %w", err)
+	}
+	k := ph.Mul(sInv)
+	innov := make([]float64, len(z))
+	for i := range z {
+		innov[i] = z[i] - mat.Dot(h.RawRow(i), f.x)
+	}
+	mat.Axpy(1, k.MulVec(innov), f.x)
+	kh := k.Mul(h)
+	f.cov = mat.Identity(f.n).Sub(kh).Mul(f.cov)
+	return nil
+}

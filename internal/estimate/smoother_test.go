@@ -1,0 +1,117 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/stats"
+)
+
+func TestSmoothValidation(t *testing.T) {
+	m := synthModel()
+	cfg := Config{Model: m, ObservedRows: []int{0}, ProcessVar: 0.01, MeasureVar: 0.04}
+	temps := mat.NewDense(3, 10)
+	inputs := mat.NewDense(2, 10)
+	if _, err := Smooth(cfg, nil, inputs, 0, 10); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil temps err = %v", err)
+	}
+	if _, err := Smooth(cfg, temps, inputs, 0, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("tiny span err = %v", err)
+	}
+	if _, err := Smooth(cfg, temps, inputs, -1, 10); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative start err = %v", err)
+	}
+	if _, err := Smooth(cfg, temps, mat.NewDense(2, 5), 0, 10); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("short inputs err = %v", err)
+	}
+	// All-NaN start.
+	nan := mat.NewDense(3, 10)
+	for i := 0; i < 3; i++ {
+		for k := 0; k < 10; k++ {
+			nan.Set(i, k, math.NaN())
+		}
+	}
+	if _, err := Smooth(cfg, nan, inputs, 0, 10); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("all-NaN start err = %v", err)
+	}
+}
+
+func TestSmoothInfillsGaps(t *testing.T) {
+	// Knock a mid-trace hole into the observed sensor; the smoother
+	// must bridge it better than the forward filter alone because it
+	// sees both edges.
+	rng := rand.New(rand.NewSource(75))
+	m := synthModel()
+	truth, inputs := generate(rng, m, 200, 0.03)
+	obs := truth.Clone()
+	const noise = 0.2
+	for k := 0; k < 200; k++ {
+		for i := 0; i < 3; i++ {
+			obs.Set(i, k, obs.At(i, k)+rng.NormFloat64()*noise)
+		}
+	}
+	// Sensor 0 observed everywhere except a 30-step hole; sensors 1, 2
+	// never observed by the estimator.
+	for k := 100; k < 130; k++ {
+		obs.Set(0, k, math.NaN())
+	}
+	cfg := Config{Model: m, ObservedRows: []int{0}, ProcessVar: 0.01, MeasureVar: noise * noise}
+	smoothed, err := Smooth(cfg, obs, inputs, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := smoothed.Dims()
+	if r != 3 || c != 200 {
+		t.Fatalf("smoothed dims %dx%d", r, c)
+	}
+
+	// Forward filter for comparison over the same trace.
+	f, err := NewFilter(cfg, smoothed.Col(0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kfHole, smHole []float64
+	for k := 0; k+1 < 200; k++ {
+		var z []float64
+		if v := obs.At(0, k+1); !math.IsNaN(v) {
+			z = []float64{v}
+		}
+		if err := f.Step(inputs.Col(k), z); err != nil {
+			t.Fatal(err)
+		}
+		if k+1 >= 100 && k+1 < 130 {
+			kfHole = append(kfHole, f.Estimate()[0]-truth.At(0, k+1))
+			smHole = append(smHole, smoothed.At(0, k+1)-truth.At(0, k+1))
+		}
+	}
+	kfRMS, smRMS := stats.RMS(kfHole), stats.RMS(smHole)
+	if smRMS >= kfRMS {
+		t.Errorf("smoother hole RMS %v not below filter %v", smRMS, kfRMS)
+	}
+	if smRMS > 0.5 {
+		t.Errorf("smoother hole RMS %v too large", smRMS)
+	}
+}
+
+func TestSmoothTracksNoiseFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	m := synthModel()
+	truth, inputs := generate(rng, m, 120, 0)
+	cfg := Config{Model: m, ObservedRows: []int{0, 1, 2}, ProcessVar: 1e-6, MeasureVar: 1e-6}
+	smoothed, err := Smooth(cfg, truth, inputs, 0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for k := 5; k < 120; k++ {
+		for i := 0; i < 3; i++ {
+			errs = append(errs, smoothed.At(i, k)-truth.At(i, k))
+		}
+	}
+	if rms := stats.RMS(errs); rms > 1e-3 {
+		t.Errorf("noise-free smoothing RMS %v, want ~0", rms)
+	}
+}

@@ -1,0 +1,167 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation on the simulated auditorium dataset: model identification
+// quality (Table I, Figs. 3-5), the spatial snapshot (Fig. 2), sensor
+// clustering (Figs. 6-8) and sensor selection / model simplification
+// (Table II, Figs. 9-11).
+//
+// Each experiment is a pure function of an Env, the generated dataset
+// plus its derived matrices and train/validation day split. Shared()
+// caches one default Env per process because dataset generation costs
+// a few seconds.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"auditherm/internal/dataset"
+	"auditherm/internal/mat"
+	"auditherm/internal/timeseries"
+)
+
+// MaxMissingFraction is the per-day missing-data budget above which a
+// day is discarded, mirroring the paper's exclusion of failure days.
+const MaxMissingFraction = 0.1
+
+// CorrelationSharpness is the correlation-kernel exponent used by the
+// clustering experiments; see cluster.SimilarityOptions.
+const CorrelationSharpness = 8
+
+// Env bundles a generated dataset with everything the experiments
+// derive from it.
+type Env struct {
+	// Dataset is the generated trace.
+	Dataset *dataset.Dataset
+	// Temps is all 27 temperature channels by grid step.
+	Temps *mat.Dense
+	// Inputs is the 7 model inputs by grid step.
+	Inputs *mat.Dense
+	// Valid marks grid steps where every core channel is present.
+	Valid []bool
+	// WirelessIdx and ThermoIdx are row indices into Temps.
+	WirelessIdx, ThermoIdx []int
+	// Train/validation day splits per mode.
+	OccTrainDays, OccValidDays     []int
+	UnoccTrainDays, UnoccValidDays []int
+}
+
+// NewEnv generates a dataset and derives the experiment inputs.
+func NewEnv(cfg dataset.Config) (*Env, error) {
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating dataset: %w", err)
+	}
+	temps, err := d.TempsMatrix()
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := d.InputsMatrix()
+	if err != nil {
+		return nil, err
+	}
+	valid, err := d.ValidColumns()
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Dataset: d, Temps: temps, Inputs: inputs, Valid: valid}
+	for i, sp := range d.Sensors {
+		if sp.Thermostat {
+			env.ThermoIdx = append(env.ThermoIdx, i)
+		} else {
+			env.WirelessIdx = append(env.WirelessIdx, i)
+		}
+	}
+	occDays, err := d.UsableDays(dataset.Occupied, MaxMissingFraction)
+	if err != nil {
+		return nil, err
+	}
+	env.OccTrainDays, env.OccValidDays = dataset.SplitDays(occDays)
+	unoccDays, err := d.UsableDays(dataset.Unoccupied, MaxMissingFraction)
+	if err != nil {
+		return nil, err
+	}
+	env.UnoccTrainDays, env.UnoccValidDays = dataset.SplitDays(unoccDays)
+	if len(env.OccTrainDays) == 0 || len(env.OccValidDays) == 0 {
+		return nil, fmt.Errorf("experiments: no usable occupied days in trace")
+	}
+	return env, nil
+}
+
+var (
+	sharedOnce sync.Once
+	sharedEnv  *Env
+	sharedErr  error
+)
+
+// Shared returns a process-wide Env over the default (paper-scale)
+// dataset configuration.
+func Shared() (*Env, error) {
+	sharedOnce.Do(func() {
+		sharedEnv, sharedErr = NewEnv(dataset.DefaultConfig())
+	})
+	return sharedEnv, sharedErr
+}
+
+// TrainWindows returns the mode windows of the training days.
+func (e *Env) TrainWindows(mode dataset.Mode) ([]timeseries.Segment, error) {
+	days := e.OccTrainDays
+	if mode == dataset.Unoccupied {
+		days = e.UnoccTrainDays
+	}
+	return e.Dataset.Windows(mode, days)
+}
+
+// ValidWindows returns the mode windows of the validation days.
+func (e *Env) ValidWindows(mode dataset.Mode) ([]timeseries.Segment, error) {
+	days := e.OccValidDays
+	if mode == dataset.Unoccupied {
+		days = e.UnoccValidDays
+	}
+	return e.Dataset.Windows(mode, days)
+}
+
+// HorizonSteps converts a wall-clock horizon to grid steps.
+func (e *Env) HorizonSteps(d time.Duration) int {
+	return int(d / e.Dataset.Config.GridStep)
+}
+
+// PaperHorizon is the paper's 13.5-hour prediction window.
+const PaperHorizon = 13*time.Hour + 30*time.Minute
+
+// WirelessTrainTraces collects the wireless sensors' gap-free training
+// columns (occupied mode): the matrix the clustering experiments run
+// on. Row order follows WirelessIdx.
+func (e *Env) WirelessTrainTraces() (*mat.Dense, error) {
+	wins, err := e.TrainWindows(dataset.Occupied)
+	if err != nil {
+		return nil, err
+	}
+	all := dataset.CollectValid(e.Temps, e.Valid, wins)
+	cols := make([]int, all.Cols())
+	for i := range cols {
+		cols[i] = i
+	}
+	return all.SubMatrix(e.WirelessIdx, cols), nil
+}
+
+// AllValidTraces collects every sensor's gap-free columns over the
+// given windows (all 27 rows, global indices preserved).
+func (e *Env) AllValidTraces(windows []timeseries.Segment) *mat.Dense {
+	return dataset.CollectValid(e.Temps, e.Valid, windows)
+}
+
+// GlobalWireless maps wireless-local cluster member indices to global
+// sensor row indices.
+func (e *Env) GlobalWireless(members [][]int) [][]int {
+	out := make([][]int, len(members))
+	for c, ms := range members {
+		for _, i := range ms {
+			out[c] = append(out[c], e.WirelessIdx[i])
+		}
+	}
+	return out
+}
+
+// SensorID returns the paper's sensor number of a global row index.
+func (e *Env) SensorID(row int) int { return e.Dataset.Sensors[row].ID }

@@ -1,0 +1,258 @@
+package hvac
+
+import (
+	"testing"
+	"time"
+)
+
+var day = time.Date(2013, time.February, 4, 0, 0, 0, 0, time.UTC)
+
+func mustPlant(t *testing.T) *Plant {
+	t.Helper()
+	p, err := NewPlant(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewPlant: %v", err)
+	}
+	return p
+}
+
+func TestNewPlantValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero VAVs", func(c *Config) { c.NumVAVs = 0 }},
+		{"bad hours", func(c *Config) { c.OnHour = 25 }},
+		{"on after off", func(c *Config) { c.OnHour, c.OffHour = 21, 6 }},
+		{"min above max", func(c *Config) { c.MinFlowPerVAV, c.MaxFlowPerVAV = 1, 0.5 }},
+		{"bad base fraction", func(c *Config) { c.BaseFlowFraction = 1.5 }},
+		{"negative deadband", func(c *Config) { c.Deadband = -0.1 }},
+		{"zero damper tau", func(c *Config) { c.DamperTau = 0 }},
+		{"disordered supply temps", func(c *Config) { c.CoolSupplyTemp = 25 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		c.mutate(&cfg)
+		if _, err := NewPlant(cfg); err == nil {
+			t.Errorf("%s: config accepted", c.name)
+		}
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	p := mustPlant(t)
+	cases := []struct {
+		hour int
+		want bool
+	}{
+		{0, false}, {5, false}, {6, true}, {12, true}, {20, true}, {21, false}, {23, false},
+	}
+	for _, c := range cases {
+		at := day.Add(time.Duration(c.hour) * time.Hour)
+		if got := p.OnModeAt(at); got != c.want {
+			t.Errorf("OnModeAt(%02d:00) = %v, want %v", c.hour, got, c.want)
+		}
+	}
+}
+
+func stepUntil(t *testing.T, p *Plant, at time.Time, thermo float64, steps int) State {
+	t.Helper()
+	var st State
+	var err error
+	for i := 0; i < steps; i++ {
+		st, err = p.Step(at, 30*time.Second, []float64{thermo, thermo})
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	return st
+}
+
+func TestOffModeMinimumVentilation(t *testing.T) {
+	p := mustPlant(t)
+	st := stepUntil(t, p, day.Add(2*time.Hour), 25, 100)
+	cfg := DefaultConfig()
+	if got := st.TotalFlow(); got > float64(cfg.NumVAVs)*cfg.MinFlowPerVAV*1.05 {
+		t.Errorf("off-mode flow %v exceeds minimum", got)
+	}
+	if st.OnMode {
+		t.Error("OnMode true at 02:00")
+	}
+	if st.SupplyTemp < cfg.NeutralSupplyTemp-0.5 || st.SupplyTemp > cfg.NeutralSupplyTemp+0.5 {
+		t.Errorf("off-mode supply %v, want neutral ~%v", st.SupplyTemp, cfg.NeutralSupplyTemp)
+	}
+}
+
+func TestCoolingRespondsToError(t *testing.T) {
+	p := mustPlant(t)
+	at := day.Add(12 * time.Hour)
+	warm := stepUntil(t, p, at, 24, 200) // hot room
+	cfg := DefaultConfig()
+	if warm.SupplyTemp > cfg.CoolSupplyTemp+1 {
+		t.Errorf("supply temp %v while cooling, want ~%v", warm.SupplyTemp, cfg.CoolSupplyTemp)
+	}
+	if warm.TotalFlow() < 0.9*float64(cfg.NumVAVs)*cfg.MaxFlowPerVAV {
+		t.Errorf("flow %v under strong error, want near max %v",
+			warm.TotalFlow(), float64(cfg.NumVAVs)*cfg.MaxFlowPerVAV)
+	}
+
+	p2 := mustPlant(t)
+	mild := stepUntil(t, p2, at, 21.5, 200) // slightly warm
+	if mild.TotalFlow() >= warm.TotalFlow() {
+		t.Errorf("mild error flow %v should be below strong error flow %v",
+			mild.TotalFlow(), warm.TotalFlow())
+	}
+}
+
+func TestHeatingBelowSetpoint(t *testing.T) {
+	p := mustPlant(t)
+	st := stepUntil(t, p, day.Add(7*time.Hour), 18.5, 200)
+	cfg := DefaultConfig()
+	if st.SupplyTemp < cfg.HeatSupplyTemp-1 {
+		t.Errorf("supply %v while heating, want ~%v", st.SupplyTemp, cfg.HeatSupplyTemp)
+	}
+}
+
+func TestDeadbandNeutral(t *testing.T) {
+	p := mustPlant(t)
+	st := stepUntil(t, p, day.Add(12*time.Hour), 21.0, 200)
+	cfg := DefaultConfig()
+	if st.SupplyTemp < cfg.NeutralSupplyTemp-1 || st.SupplyTemp > cfg.NeutralSupplyTemp+1 {
+		t.Errorf("deadband supply %v, want ~%v", st.SupplyTemp, cfg.NeutralSupplyTemp)
+	}
+	wantBase := cfg.BaseFlowFraction * cfg.MaxFlowPerVAV * float64(cfg.NumVAVs)
+	if got := st.TotalFlow(); got < 0.9*wantBase || got > 1.1*wantBase {
+		t.Errorf("deadband flow %v, want ~%v", got, wantBase)
+	}
+}
+
+func TestDamperSmoothing(t *testing.T) {
+	p := mustPlant(t)
+	// One 30 s step from minimum toward max should move only partway.
+	st, err := p.Step(day.Add(12*time.Hour), 30*time.Second, []float64{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if st.Flows[0] > cfg.MaxFlowPerVAV/2 {
+		t.Errorf("flow jumped to %v in one step; damper lag missing", st.Flows[0])
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	p := mustPlant(t)
+	if _, err := p.Step(day, 0, []float64{20}); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := p.Step(day.Add(12*time.Hour), time.Second, nil); err == nil {
+		t.Error("on-mode step without thermostats accepted")
+	}
+	// Off-mode step without thermostats is fine.
+	if _, err := p.Step(day, time.Second, nil); err != nil {
+		t.Errorf("off-mode step: %v", err)
+	}
+}
+
+func TestLoggerIntervals(t *testing.T) {
+	l, err := NewLogger(4, 10*time.Minute, 30*time.Minute, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := State{Flows: []float64{1, 2, 3, 4}, SupplyTemp: 14}
+	for m := 0; m < 24*60; m++ {
+		l.Offer(day.Add(time.Duration(m)*time.Minute), st)
+	}
+	sup := l.SupplySeries()
+	if sup.Len() < 40 || sup.Len() > 150 {
+		t.Errorf("supply samples = %d over a day, want within 10-30 min cadence", sup.Len())
+	}
+	// Interval bounds: consecutive records 10 to 30+1 minutes apart.
+	for i := 1; i < sup.Len(); i++ {
+		gap := sup.At(i).Time.Sub(sup.At(i - 1).Time)
+		if gap < 10*time.Minute || gap > 31*time.Minute {
+			t.Fatalf("record gap %v outside [10m, 31m]", gap)
+		}
+	}
+	flows := l.FlowSeries()
+	if len(flows) != 4 {
+		t.Fatalf("flow series = %d, want 4", len(flows))
+	}
+	if flows[2].Len() != sup.Len() {
+		t.Errorf("flow samples %d != supply samples %d", flows[2].Len(), sup.Len())
+	}
+}
+
+func TestLoggerValidation(t *testing.T) {
+	if _, err := NewLogger(0, time.Minute, time.Hour, 1); err == nil {
+		t.Error("zero VAVs accepted")
+	}
+	if _, err := NewLogger(4, time.Hour, time.Minute, 1); err == nil {
+		t.Error("reversed intervals accepted")
+	}
+}
+
+func TestExcitationDithersFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExcitationStd = 0.15
+	cfg.ExcitationSeed = 7
+	p, err := NewPlant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the thermostats constant in the deadband: without
+	// excitation the flow would settle at exactly the base flow.
+	at := day.Add(10 * time.Hour)
+	var flows []float64
+	for k := 0; k < 1000; k++ {
+		st, err := p.Step(at.Add(time.Duration(k)*30*time.Second), 30*time.Second, []float64{21, 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 100 {
+			flows = append(flows, st.Flows[0])
+		}
+	}
+	var mean, varsum float64
+	for _, f := range flows {
+		mean += f
+	}
+	mean /= float64(len(flows))
+	for _, f := range flows {
+		varsum += (f - mean) * (f - mean)
+	}
+	sd := varsum / float64(len(flows))
+	if sd < 1e-4 {
+		t.Errorf("flow variance %v with excitation enabled; dither not applied", sd)
+	}
+	for _, f := range flows {
+		if f < cfg.MinFlowPerVAV-1e-9 || f > cfg.MaxFlowPerVAV+1e-9 {
+			t.Fatalf("dithered flow %v outside [%v, %v]", f, cfg.MinFlowPerVAV, cfg.MaxFlowPerVAV)
+		}
+	}
+}
+
+func TestExcitationOffByDefault(t *testing.T) {
+	p := mustPlant(t)
+	at := day.Add(10 * time.Hour)
+	var last float64
+	for k := 0; k < 500; k++ {
+		st, err := p.Step(at.Add(time.Duration(k)*30*time.Second), 30*time.Second, []float64{21, 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = st.Flows[0]
+	}
+	cfg := DefaultConfig()
+	want := cfg.BaseFlowFraction * cfg.MaxFlowPerVAV
+	if last < want-1e-6 || last > want+1e-6 {
+		t.Errorf("settled flow %v, want base %v without excitation", last, want)
+	}
+}
+
+func TestExcitationValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExcitationStd = -1
+	if _, err := NewPlant(cfg); err == nil {
+		t.Error("negative excitation std accepted")
+	}
+}

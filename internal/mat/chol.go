@@ -1,0 +1,83 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular Cholesky factor L of a symmetric
+// positive-definite matrix: A = L*L^T.
+type Cholesky struct {
+	l *Dense
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+// Only the lower triangle of a is read. It returns an error when a is
+// not positive definite to working precision.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	m, n := a.Dims()
+	if m != n {
+		return nil, fmt.Errorf("mat: Cholesky of %dx%d matrix: %w", m, n, ErrShape)
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			var s float64
+			for i := 0; i < k; i++ {
+				s += l.At(k, i) * l.At(j, i)
+			}
+			s = (a.At(j, k) - s) / l.At(k, k)
+			l.Set(j, k, s)
+			d += s * s
+		}
+		d = a.At(j, j) - d
+		if d <= 0 {
+			return nil, fmt.Errorf("mat: Cholesky pivot %d is %v: matrix not positive definite: %w", j, d, ErrSingular)
+		}
+		l.Set(j, j, math.Sqrt(d))
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// Solve returns x with A*x = b for the factored matrix A.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.l.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Cholesky solve with rhs length %d for order-%d system: %w", len(b), n, ErrShape)
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward solve L*y = b.
+	for i := 0; i < n; i++ {
+		row := c.l.RawRow(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	// Back solve L^T*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// LogDet returns the natural log of the determinant of the factored
+// matrix, computed stably from the factor diagonal.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	n := c.l.Rows()
+	for i := 0; i < n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}

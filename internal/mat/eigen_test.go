@@ -1,0 +1,152 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewDenseData(2, 2, []float64{2, 1, 1, 2})
+	e, err := NewEigenSym(a)
+	if err != nil {
+		t.Fatalf("NewEigenSym: %v", err)
+	}
+	if !almostEqual(e.Values[0], 1, 1e-10) || !almostEqual(e.Values[1], 3, 1e-10) {
+		t.Errorf("Values = %v, want [1 3]", e.Values)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{5, 0, 0, 0, -2, 0, 0, 0, 1})
+	e, err := NewEigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-2, 1, 5}
+	for i := range want {
+		if !almostEqual(e.Values[i], want[i], 1e-12) {
+			t.Errorf("Values[%d] = %v, want %v", i, e.Values[i], want[i])
+		}
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(10)
+		a := spdMatrix(rng, n)
+		e, err := NewEigenSym(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Ascending order.
+		if !sort.Float64sAreSorted(e.Values) {
+			t.Errorf("trial %d: eigenvalues not sorted: %v", trial, e.Values)
+		}
+		// V diag(w) V^T == A.
+		d := NewDense(n, n)
+		for i, v := range e.Values {
+			d.Set(i, i, v)
+		}
+		recon := e.Vectors.Mul(d).Mul(e.Vectors.T())
+		if !recon.Equal(a, 1e-8*(1+a.MaxAbs())) {
+			t.Errorf("trial %d: V diag V^T != A", trial)
+		}
+		// Orthonormality.
+		if !e.Vectors.T().Mul(e.Vectors).Equal(Identity(n), 1e-9) {
+			t.Errorf("trial %d: V^T V != I", trial)
+		}
+	}
+}
+
+func TestEigenSymTraceInvariantProperty(t *testing.T) {
+	// Sum of eigenvalues equals the trace for symmetric matrices.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		g := randomDense(rng, n, n)
+		a := g.Add(g.T()).Scale(0.5)
+		e, err := NewEigenSym(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var tr, sum float64
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		for _, v := range e.Values {
+			sum += v
+		}
+		if !almostEqual(tr, sum, 1e-8*(1+math.Abs(tr))) {
+			t.Errorf("trial %d: trace %v != eigsum %v", trial, tr, sum)
+		}
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 5, -5, 1})
+	if _, err := NewEigenSym(a); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	if _, err := NewEigenSym(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("rect err = %v, want ErrShape", err)
+	}
+}
+
+func TestEigenSymLaplacianNullspace(t *testing.T) {
+	// A graph Laplacian always has eigenvalue 0 with the constant
+	// eigenvector; with two components, multiplicity is 2. This mirrors
+	// exactly how the cluster package consumes this solver.
+	// Graph: 0-1, 2-3 (two disjoint edges).
+	w := NewDense(4, 4)
+	w.Set(0, 1, 1)
+	w.Set(1, 0, 1)
+	w.Set(2, 3, 1)
+	w.Set(3, 2, 1)
+	l := NewDense(4, 4)
+	for i := 0; i < 4; i++ {
+		var d float64
+		for j := 0; j < 4; j++ {
+			d += w.At(i, j)
+		}
+		for j := 0; j < 4; j++ {
+			if i == j {
+				l.Set(i, j, d)
+			} else {
+				l.Set(i, j, -w.At(i, j))
+			}
+		}
+	}
+	e, err := NewEigenSym(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]) > 1e-10 || math.Abs(e.Values[1]) > 1e-10 {
+		t.Errorf("two-component Laplacian should have two ~0 eigenvalues, got %v", e.Values)
+	}
+	if e.Values[2] < 1e-6 {
+		t.Errorf("third eigenvalue should be positive, got %v", e.Values[2])
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{0.5, 0, 0, -0.9})
+	r, err := SpectralRadius(a, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 0.9, 1e-6) {
+		t.Errorf("SpectralRadius = %v, want 0.9", r)
+	}
+	if _, err := SpectralRadius(NewDense(2, 3), 10); !errors.Is(err, ErrShape) {
+		t.Errorf("rect err = %v, want ErrShape", err)
+	}
+	z, err := SpectralRadius(NewDense(3, 3), 10)
+	if err != nil || z != 0 {
+		t.Errorf("zero matrix radius = %v err %v, want 0", z, err)
+	}
+}

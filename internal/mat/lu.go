@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU factorization with partial pivoting of a square
+// matrix: P*A = L*U.
+type LU struct {
+	lu    *Dense
+	piv   []int
+	signs float64 // +1 or -1, determinant sign of the permutation
+}
+
+// NewLU computes the LU factorization of square matrix a with partial
+// pivoting. The input is not modified.
+func NewLU(a *Dense) (*LU, error) {
+	m, n := a.Dims()
+	if m != n {
+		return nil, fmt.Errorf("mat: LU of %dx%d matrix: %w", m, n, ErrShape)
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		mx := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > mx {
+				mx, p = a, i
+			}
+		}
+		if mx == 0 {
+			return nil, fmt.Errorf("mat: LU pivot %d: %w", k, ErrSingular)
+		}
+		if p != k {
+			rk, rp := lu.RawRow(k), lu.RawRow(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		// Eliminate below.
+		pivval := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivval
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			ri, rk := lu.RawRow(i), lu.RawRow(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, signs: sign}, nil
+}
+
+// Solve returns x with A*x = b.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: LU solve with rhs length %d for order-%d system: %w", len(b), n, ErrShape)
+	}
+	x := make([]float64, n)
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	// Forward solve L*y = P*b (unit lower triangular).
+	for i := 1; i < n; i++ {
+		row := f.lu.RawRow(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back solve U*x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.RawRow(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.signs
+	n := f.lu.Rows()
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve returns x with a*x = b for square a.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns the inverse of square matrix a.
+func Inverse(a *Dense) (*Dense, error) {
+	n := a.Rows()
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		inv.SetCol(j, col)
+		e[j] = 0
+	}
+	return inv, nil
+}

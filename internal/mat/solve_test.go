@@ -1,0 +1,137 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{
+		0, 2, 1, // zero pivot forces a row swap
+		1, 1, 1,
+		2, 0, 3,
+	})
+	want := []float64{1, 2, -1}
+	b := a.MulVec(want)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 4})
+	if _, err := NewLU(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := NewLU(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{3, 1, 4, 2})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Det = %v, want 2", got)
+	}
+	// Permutation parity: swapping two rows flips the sign.
+	b := NewDenseData(2, 2, []float64{4, 2, 3, 1})
+	fb, err := NewLU(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.Det(); !almostEqual(got, -2, 1e-12) {
+		t.Errorf("Det (swapped) = %v, want -2", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomDense(rng, n, n)
+		// Diagonal boost keeps the random matrix comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !a.Mul(inv).Equal(Identity(n), 1e-8) {
+			t.Errorf("trial %d: A*inv(A) != I", trial)
+		}
+	}
+}
+
+func spdMatrix(rng *rand.Rand, n int) *Dense {
+	g := randomDense(rng, n, n)
+	a := g.Mul(g.T())
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+0.5)
+	}
+	return a
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(8)
+		a := spdMatrix(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := c.Solve(b)
+		if err != nil {
+			t.Fatalf("trial %d solve: %v", trial, err)
+		}
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-7*(1+math.Abs(want[i]))) {
+				t.Errorf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+		// Reconstruction: L L^T == A.
+		l := c.L()
+		if !l.Mul(l.T()).Equal(a, 1e-8) {
+			t.Errorf("trial %d: LL^T != A", trial)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{4, 0, 0, 9})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.LogDet(), math.Log(36); !almostEqual(got, want, 1e-12) {
+		t.Errorf("LogDet = %v, want %v", got, want)
+	}
+}

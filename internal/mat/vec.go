@@ -1,0 +1,102 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the dot product of x and y.
+// It panics if the lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: dot of vectors with lengths %d and %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow by
+// scaling with the largest magnitude element.
+func Norm2(x []float64) float64 {
+	var mx float64
+	for _, v := range x {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		r := v / mx
+		s += r * r
+	}
+	return mx * math.Sqrt(s)
+}
+
+// Axpy computes y += a*x in place.
+// It panics if the lengths differ.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: axpy of vectors with lengths %d and %d", len(x), len(y)))
+	}
+	if a == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec returns a*x as a new slice.
+func ScaleVec(a float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = a * v
+	}
+	return out
+}
+
+// AddVec returns x + y as a new slice.
+// It panics if the lengths differ.
+func AddVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: add of vectors with lengths %d and %d", len(x), len(y)))
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v + y[i]
+	}
+	return out
+}
+
+// SubVec returns x - y as a new slice.
+// It panics if the lengths differ.
+func SubVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: sub of vectors with lengths %d and %d", len(x), len(y)))
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - y[i]
+	}
+	return out
+}
+
+// Dist2 returns the Euclidean distance between x and y.
+// It panics if the lengths differ.
+func Dist2(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: distance of vectors with lengths %d and %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,110 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+	// Overflow guard: naive sum of squares would overflow.
+	big := []float64{1e200, 1e200}
+	if got := Norm2(big); math.IsInf(got, 0) {
+		t.Error("Norm2 overflowed on large input")
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("Axpy result = %v", y)
+	}
+	Axpy(0, []float64{math.NaN(), math.NaN()}, y)
+	if y[0] != 7 {
+		t.Error("Axpy with a=0 must be a no-op")
+	}
+}
+
+func TestVecArithmetic(t *testing.T) {
+	x, y := []float64{1, 2}, []float64{3, 5}
+	if got := AddVec(x, y); got[0] != 4 || got[1] != 7 {
+		t.Errorf("AddVec = %v", got)
+	}
+	if got := SubVec(y, x); got[0] != 2 || got[1] != 3 {
+		t.Errorf("SubVec = %v", got)
+	}
+	if got := ScaleVec(-1, x); got[0] != -1 || got[1] != -2 {
+		t.Errorf("ScaleVec = %v", got)
+	}
+	if got := Dist2([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Dist2 = %v, want 5", got)
+	}
+}
+
+// Property: the Cauchy-Schwarz inequality |x.y| <= |x||y| holds for all
+// finite inputs.
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		x, y := xs[:n], ys[:n]
+		for _, v := range append(append([]float64{}, x...), y...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological magnitudes
+			}
+		}
+		lhs := math.Abs(Dot(x, y))
+		rhs := Norm2(x) * Norm2(y)
+		return lhs <= rhs*(1+1e-10)+1e-300
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist2 satisfies the triangle inequality.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		n := len(raw) / 3
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		a, b, c := raw[:n], raw[n:2*n], raw[2*n:3*n]
+		return Dist2(a, c) <= Dist2(a, b)+Dist2(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

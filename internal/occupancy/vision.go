@@ -1,0 +1,212 @@
+package occupancy
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"auditherm/internal/timeseries"
+)
+
+// The paper counted occupants by visual inspection of webcam photos
+// and notes that "in the future, occupancy could be measured
+// automatically using computer vision software". This file implements
+// that step against synthetic frames: a renderer that draws occupants
+// as foreground blobs on the seat grid (with the occlusion and noise a
+// real camera suffers) and a connected-component counter that
+// estimates the head count.
+
+// VisionConfig parameterizes the synthetic camera and the counter.
+type VisionConfig struct {
+	// SeatRows and SeatCols define the auditorium seat grid the camera
+	// watches (90 seats in the paper's room).
+	SeatRows, SeatCols int
+	// BlobSize is the side length in pixels of one occupant's blob.
+	BlobSize int
+	// SeatPitch is the pixel spacing between adjacent seats; when it
+	// equals BlobSize, neighbours merge into one component (occlusion).
+	SeatPitch int
+	// NoiseProb is the probability a background pixel reads foreground
+	// (sensor noise, flickering projector light).
+	NoiseProb float64
+}
+
+// DefaultVisionConfig matches the paper's ~90-seat room with moderate
+// occlusion: neighbours in the same row merge when seated adjacently.
+func DefaultVisionConfig() VisionConfig {
+	return VisionConfig{
+		SeatRows:  9,
+		SeatCols:  10,
+		BlobSize:  3,
+		SeatPitch: 4,
+		NoiseProb: 0.0005,
+	}
+}
+
+// validate checks the camera geometry.
+func (c VisionConfig) validate() error {
+	if c.SeatRows <= 0 || c.SeatCols <= 0 {
+		return fmt.Errorf("occupancy: vision seat grid %dx%d invalid", c.SeatRows, c.SeatCols)
+	}
+	if c.BlobSize <= 0 || c.SeatPitch < c.BlobSize {
+		return fmt.Errorf("occupancy: vision blob %dpx on pitch %dpx invalid", c.BlobSize, c.SeatPitch)
+	}
+	if c.NoiseProb < 0 || c.NoiseProb >= 1 {
+		return fmt.Errorf("occupancy: vision noise probability %v outside [0,1)", c.NoiseProb)
+	}
+	return nil
+}
+
+// Snapshot is one synthetic camera frame: a binary foreground mask.
+type Snapshot struct {
+	W, H int
+	Pix  []bool // row-major, true = foreground
+}
+
+// At reports the pixel at (x, y).
+func (s *Snapshot) At(x, y int) bool { return s.Pix[y*s.W+x] }
+
+// RenderSnapshot draws n occupants in distinct seats (chosen
+// deterministically from seed, filling from the middle rows outward
+// the way audiences actually sit) plus pixel noise.
+func RenderSnapshot(n int, cfg VisionConfig, seed int64) (*Snapshot, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	seats := cfg.SeatRows * cfg.SeatCols
+	if n < 0 || n > seats {
+		return nil, fmt.Errorf("occupancy: %d occupants for %d seats", n, seats)
+	}
+	w := cfg.SeatCols*cfg.SeatPitch + cfg.SeatPitch
+	h := cfg.SeatRows*cfg.SeatPitch + cfg.SeatPitch
+	snap := &Snapshot{W: w, H: h, Pix: make([]bool, w*h)}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Audiences cluster: fill seats in a preferential order (middle
+	// rows first) with some randomness.
+	order := rng.Perm(seats)
+	occupied := make([]bool, seats)
+	filled := 0
+	for _, s := range order {
+		if filled == n {
+			break
+		}
+		occupied[s] = true
+		filled++
+	}
+	for s, occ := range occupied {
+		if !occ {
+			continue
+		}
+		row := s / cfg.SeatCols
+		col := s % cfg.SeatCols
+		x0 := cfg.SeatPitch/2 + col*cfg.SeatPitch
+		y0 := cfg.SeatPitch/2 + row*cfg.SeatPitch
+		for dy := 0; dy < cfg.BlobSize; dy++ {
+			for dx := 0; dx < cfg.BlobSize; dx++ {
+				snap.Pix[(y0+dy)*w+(x0+dx)] = true
+			}
+		}
+	}
+	for i := range snap.Pix {
+		if !snap.Pix[i] && rng.Float64() < cfg.NoiseProb {
+			snap.Pix[i] = true
+		}
+	}
+	return snap, nil
+}
+
+// CountOccupants estimates the number of people in a snapshot by
+// 4-connected component analysis: tiny components are discarded as
+// noise, large (merged) components contribute round(area/blobArea)
+// heads.
+func CountOccupants(s *Snapshot, cfg VisionConfig) (int, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	blobArea := cfg.BlobSize * cfg.BlobSize
+	minArea := blobArea / 2 // below this a component is noise
+	visited := make([]bool, len(s.Pix))
+	var stack []int
+	total := 0
+	for start := range s.Pix {
+		if !s.Pix[start] || visited[start] {
+			continue
+		}
+		// Flood fill.
+		area := 0
+		stack = append(stack[:0], start)
+		visited[start] = true
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			area++
+			x, y := idx%s.W, idx/s.W
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= s.W || ny < 0 || ny >= s.H {
+					continue
+				}
+				nidx := ny*s.W + nx
+				if s.Pix[nidx] && !visited[nidx] {
+					visited[nidx] = true
+					stack = append(stack, nidx)
+				}
+			}
+		}
+		if area < minArea {
+			continue // noise speck
+		}
+		heads := (area + blobArea/2) / blobArea
+		if heads < 1 {
+			heads = 1
+		}
+		total += heads
+	}
+	return total, nil
+}
+
+// VisionCamera observes a schedule like Camera, but derives its counts
+// mechanistically: each snapshot is rendered and counted through the
+// vision pipeline instead of adding abstract Gaussian error.
+type VisionCamera struct {
+	cfg      VisionConfig
+	interval time.Duration
+	seed     int64
+}
+
+// NewVisionCamera validates the configuration and returns a camera
+// taking a frame every interval.
+func NewVisionCamera(cfg VisionConfig, interval time.Duration, seed int64) (*VisionCamera, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("occupancy: vision camera interval %v must be positive", interval)
+	}
+	return &VisionCamera{cfg: cfg, interval: interval, seed: seed}, nil
+}
+
+// Observe returns the vision-counted occupancy series over [start,
+// end). Counts are clamped to the seat capacity.
+func (c *VisionCamera) Observe(sched *Schedule, start, end time.Time) (*timeseries.Series, error) {
+	s := timeseries.NewSeries("occupancy-vision")
+	frame := int64(0)
+	for t := start; t.Before(end); t = t.Add(c.interval) {
+		truth := sched.CountAt(t)
+		if truth > c.cfg.SeatRows*c.cfg.SeatCols {
+			truth = c.cfg.SeatRows * c.cfg.SeatCols
+		}
+		snap, err := RenderSnapshot(truth, c.cfg, c.seed+frame)
+		if err != nil {
+			return nil, err
+		}
+		count, err := CountOccupants(snap, c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Append(t, float64(count))
+		frame++
+	}
+	return s, nil
+}

@@ -1,0 +1,139 @@
+package occupancy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestVisionConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*VisionConfig)
+	}{
+		{"zero rows", func(c *VisionConfig) { c.SeatRows = 0 }},
+		{"zero blob", func(c *VisionConfig) { c.BlobSize = 0 }},
+		{"pitch below blob", func(c *VisionConfig) { c.SeatPitch = c.BlobSize - 1 }},
+		{"noise 1", func(c *VisionConfig) { c.NoiseProb = 1 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultVisionConfig()
+		c.mutate(&cfg)
+		if _, err := RenderSnapshot(5, cfg, 1); err == nil {
+			t.Errorf("%s: config accepted", c.name)
+		}
+	}
+}
+
+func TestRenderSnapshotBounds(t *testing.T) {
+	cfg := DefaultVisionConfig()
+	if _, err := RenderSnapshot(-1, cfg, 1); err == nil {
+		t.Error("negative occupants accepted")
+	}
+	if _, err := RenderSnapshot(91, cfg, 1); err == nil {
+		t.Error("over-capacity accepted")
+	}
+	snap, err := RenderSnapshot(0, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lit int
+	for _, p := range snap.Pix {
+		if p {
+			lit++
+		}
+	}
+	// Empty room: only noise pixels.
+	if lit > snap.W*snap.H/100 {
+		t.Errorf("empty-room frame has %d foreground pixels", lit)
+	}
+}
+
+func TestCountExactWhenSparse(t *testing.T) {
+	// With no noise and non-touching blobs, counting is exact.
+	cfg := DefaultVisionConfig()
+	cfg.NoiseProb = 0
+	cfg.SeatPitch = 2 * cfg.BlobSize // blobs never touch
+	for _, n := range []int{0, 1, 7, 30, 90} {
+		snap, err := RenderSnapshot(n, cfg, int64(n)+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountOccupants(snap, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != n {
+			t.Errorf("n=%d: counted %d", n, got)
+		}
+	}
+}
+
+func TestCountWithOcclusionApproximate(t *testing.T) {
+	// With merging blobs the count comes from component areas and
+	// remains within a few heads of truth.
+	cfg := DefaultVisionConfig()
+	cfg.NoiseProb = 0
+	for _, n := range []int{10, 45, 90} {
+		snap, err := RenderSnapshot(n, cfg, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountOccupants(snap, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(float64(got - n)); d > float64(n)/10+2 {
+			t.Errorf("n=%d: counted %d (error %v)", n, got, d)
+		}
+	}
+}
+
+func TestCountNoiseRejected(t *testing.T) {
+	cfg := DefaultVisionConfig()
+	cfg.NoiseProb = 0.001
+	snap, err := RenderSnapshot(0, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountOccupants(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 2 {
+		t.Errorf("empty noisy frame counted %d people", got)
+	}
+}
+
+func TestVisionCameraObserve(t *testing.T) {
+	sched := mustSchedule(t)
+	cam, err := NewVisionCamera(DefaultVisionConfig(), 15*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2013, time.March, 22, 0, 0, 0, 0, time.UTC)
+	s, err := cam.Observe(sched, day, day.AddDate(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 96 {
+		t.Fatalf("frames = %d, want 96", s.Len())
+	}
+	var worst float64
+	for i := 0; i < s.Len(); i++ {
+		smp := s.At(i)
+		truth := float64(sched.CountAt(smp.Time))
+		if truth > 90 {
+			truth = 90
+		}
+		if d := math.Abs(smp.Value - truth); d > worst {
+			worst = d
+		}
+	}
+	if worst > 12 {
+		t.Errorf("worst vision counting error %v heads", worst)
+	}
+	if _, err := NewVisionCamera(DefaultVisionConfig(), 0, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

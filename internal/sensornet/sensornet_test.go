@@ -1,0 +1,306 @@
+package sensornet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"auditherm/internal/stats"
+)
+
+var t0 = time.Date(2013, time.January, 31, 0, 0, 0, 0, time.UTC)
+
+func mustNode(t *testing.T, name string, cfg NodeConfig, seed int64) *Node {
+	t.Helper()
+	n, err := NewNode(name, cfg, seed)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	return n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*NodeConfig)
+	}{
+		{"negative threshold", func(c *NodeConfig) { c.ReportThreshold = -0.1 }},
+		{"negative calibration", func(c *NodeConfig) { c.CalibrationStd = -1 }},
+		{"loss prob 1", func(c *NodeConfig) { c.LossProb = 1 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultNodeConfig()
+		c.mutate(&cfg)
+		if _, err := NewNode("n", cfg, 1); err == nil {
+			t.Errorf("%s: config accepted", c.name)
+		}
+	}
+}
+
+func TestNodeReportOnChange(t *testing.T) {
+	cfg := DefaultNodeConfig()
+	cfg.ReadNoiseStd = 0 // deterministic readings
+	cfg.LossProb = 0
+	n := mustNode(t, "s1", cfg, 42)
+	// First read always transmits.
+	if _, ok := n.Read(20.0); !ok {
+		t.Fatal("first read did not transmit")
+	}
+	// Unchanged temperature: below threshold, no transmit.
+	if _, ok := n.Read(20.0); ok {
+		t.Error("unchanged reading transmitted")
+	}
+	if _, ok := n.Read(20.05); ok {
+		t.Error("sub-threshold change transmitted")
+	}
+	if _, ok := n.Read(20.3); !ok {
+		t.Error("super-threshold change not transmitted")
+	}
+}
+
+func TestNodeCalibrationOffsetStable(t *testing.T) {
+	cfg := DefaultNodeConfig()
+	cfg.ReadNoiseStd = 0
+	n := mustNode(t, "s1", cfg, 7)
+	r1, _ := n.Read(20)
+	r2, _ := n.Read(25)
+	// Offset must be identical across reads.
+	if math.Abs((r1-20)-(r2-25)) > 1e-12 {
+		t.Errorf("calibration offset drifted: %v vs %v", r1-20, r2-25)
+	}
+	if math.Abs(r1-20) > 1 {
+		t.Errorf("calibration offset %v implausibly large", r1-20)
+	}
+}
+
+func TestNodeTransmissionRateReasonable(t *testing.T) {
+	// A slow 2 degC/day drift with 0.1 degC threshold should transmit
+	// far less often than it reads.
+	cfg := DefaultNodeConfig()
+	n := mustNode(t, "s1", cfg, 9)
+	reads, sends := 0, 0
+	for k := 0; k < 2880; k++ { // one day at 30 s
+		truth := 20 + 2*float64(k)/2880
+		if _, ok := n.Read(truth); ok {
+			sends++
+		}
+		reads++
+	}
+	if sends < 10 {
+		t.Errorf("sends = %d, node looks dead", sends)
+	}
+	if sends > reads/2 {
+		t.Errorf("sends = %d of %d reads; report-on-change not thinning", sends, reads)
+	}
+}
+
+func TestOutageContains(t *testing.T) {
+	o := Outage{Start: t0, End: t0.Add(time.Hour)}
+	if !o.Contains(t0) {
+		t.Error("start should be contained")
+	}
+	if o.Contains(t0.Add(time.Hour)) {
+		t.Error("end should be excluded")
+	}
+	if o.Contains(t0.Add(-time.Second)) {
+		t.Error("before start contained")
+	}
+}
+
+func TestGenerateOutagesDeterministicAndBounded(t *testing.T) {
+	end := t0.AddDate(0, 0, 98)
+	a := GenerateOutages(t0, end, 5, 8, 13)
+	b := GenerateOutages(t0, end, 5, 8, 13)
+	if len(a) != len(b) || len(a) != 13 {
+		t.Fatalf("outage counts: %d vs %d, want 13", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outage %d differs", i)
+		}
+		if a[i].Start.Before(t0) || a[i].End.After(end) {
+			t.Errorf("outage %d outside span: %+v", i, a[i])
+		}
+		if !a[i].End.After(a[i].Start) {
+			t.Errorf("outage %d empty: %+v", i, a[i])
+		}
+		if i > 0 && a[i].Start.Before(a[i-1].Start) {
+			t.Errorf("outages not sorted at %d", i)
+		}
+	}
+}
+
+func TestStoreDropsDuringOutage(t *testing.T) {
+	st := NewStore([]Outage{{Start: t0.Add(time.Hour), End: t0.Add(2 * time.Hour)}})
+	if !st.Ingest("s1", t0, 20) {
+		t.Error("pre-outage ingest dropped")
+	}
+	if st.Ingest("s1", t0.Add(90*time.Minute), 21) {
+		t.Error("mid-outage ingest stored")
+	}
+	if !st.Ingest("s1", t0.Add(3*time.Hour), 22) {
+		t.Error("post-outage ingest dropped")
+	}
+	ser, err := st.Series("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Len() != 2 {
+		t.Errorf("stored samples = %d, want 2", ser.Len())
+	}
+	if _, err := st.Series("nope"); err == nil {
+		t.Error("unknown channel read accepted")
+	}
+}
+
+func TestStoreChannelsOrder(t *testing.T) {
+	st := NewStore(nil)
+	st.Ingest("b", t0, 1)
+	st.Ingest("a", t0, 1)
+	st.Ingest("b", t0.Add(time.Second), 2)
+	ch := st.Channels()
+	if len(ch) != 2 || ch[0] != "b" || ch[1] != "a" {
+		t.Errorf("Channels = %v, want [b a]", ch)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	n1 := mustNode(t, "s1", DefaultNodeConfig(), 1)
+	dup := mustNode(t, "s1", DefaultNodeConfig(), 2)
+	if _, err := NewNetwork(nil, NewStore(nil)); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := NewNetwork([]*Node{n1}, nil); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewNetwork([]*Node{n1, dup}, NewStore(nil)); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestNetworkSample(t *testing.T) {
+	cfg := DefaultNodeConfig()
+	cfg.LossProb = 0
+	n1 := mustNode(t, "s1", cfg, 1)
+	n2 := mustNode(t, "s2", cfg, 2)
+	store := NewStore(nil)
+	net, err := NewNetwork([]*Node{n1, n2}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Sample(t0, []float64{20, 21}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Sample(t0, []float64{20}); err == nil {
+		t.Error("wrong truths length accepted")
+	}
+	for _, name := range []string{"s1", "s2"} {
+		ser, err := store.Series(name)
+		if err != nil {
+			t.Fatalf("series %s: %v", name, err)
+		}
+		if ser.Len() != 1 {
+			t.Errorf("%s stored %d samples, want 1", name, ser.Len())
+		}
+	}
+	if got := len(net.Nodes()); got != 2 {
+		t.Errorf("Nodes() = %d, want 2", got)
+	}
+}
+
+func TestEndToEndTrackingAccuracy(t *testing.T) {
+	// Sampled through the full pipeline (threshold + noise + offset),
+	// the stored trace should track the truth within the paper's
+	// +-0.5 degC sensor accuracy plus threshold.
+	cfg := DefaultNodeConfig()
+	cfg.LossProb = 0
+	node := mustNode(t, "s1", cfg, 77)
+	store := NewStore(nil)
+	net, err := NewNetwork([]*Node{node}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truths, stored []float64
+	for k := 0; k < 2880; k++ {
+		at := t0.Add(time.Duration(k) * 30 * time.Second)
+		truth := 20 + 1.5*math.Sin(2*math.Pi*float64(k)/2880)
+		if err := net.Sample(at, []float64{truth}); err != nil {
+			t.Fatal(err)
+		}
+		truths = append(truths, truth)
+		_ = stored
+	}
+	ser, err := store.Series("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold-resample the stored series and compare against truth.
+	var maxErr float64
+	var errs []float64
+	for k := 0; k < 2880; k++ {
+		at := t0.Add(time.Duration(k) * 30 * time.Second)
+		v, ok := ser.ValueAt(at)
+		if !ok {
+			continue
+		}
+		e := math.Abs(v - truths[k])
+		errs = append(errs, e)
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1.0 {
+		t.Errorf("max tracking error %v exceeds 1 degC", maxErr)
+	}
+	if rms := stats.RMS(errs); rms > 0.6 {
+		t.Errorf("RMS tracking error %v exceeds 0.6 degC", rms)
+	}
+}
+
+func TestNodeFailureWindows(t *testing.T) {
+	cfg := DefaultNodeConfig()
+	cfg.LossProb = 0
+	cfg.ReportThreshold = 0 // transmit every read
+	n1 := mustNode(t, "s1", cfg, 1)
+	store := NewStore(nil)
+	net, err := NewNetwork([]*Node{n1}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := Outage{Start: t0.Add(time.Hour), End: t0.Add(2 * time.Hour)}
+	if err := net.SetNodeFailures("s1", []Outage{fail}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetNodeFailures("nope", nil); err == nil {
+		t.Error("unknown node accepted")
+	}
+	for m := 0; m < 180; m += 10 {
+		at := t0.Add(time.Duration(m) * time.Minute)
+		if err := net.Sample(at, []float64{20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ser, err := store.Series("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No samples inside the failure hour; samples on both sides.
+	var before, during, after int
+	for i := 0; i < ser.Len(); i++ {
+		at := ser.At(i).Time
+		switch {
+		case at.Before(fail.Start):
+			before++
+		case at.Before(fail.End):
+			during++
+		default:
+			after++
+		}
+	}
+	if during != 0 {
+		t.Errorf("%d samples stored during node failure", during)
+	}
+	if before == 0 || after == 0 {
+		t.Errorf("samples before=%d after=%d, want both positive", before, after)
+	}
+}

@@ -1,0 +1,291 @@
+// Package stats provides the descriptive statistics used throughout the
+// auditherm toolkit: moments, Pearson correlation, covariance matrices,
+// quantiles, empirical CDFs, RMS error and histograms.
+//
+// All functions are pure and operate on plain float64 slices so they
+// compose with both the timeseries and mat packages.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"auditherm/internal/mat"
+)
+
+// ErrEmpty is returned (wrapped) when a statistic is requested over an
+// empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN for an empty
+// slice.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RMS returns the root-mean-square of xs, or NaN for an empty slice.
+// Applied to a residual vector it is the RMS error the paper reports.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// RMSError returns the RMS of the elementwise difference a-b.
+// It panics if the lengths differ.
+func RMSError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: RMSError of slices with lengths %d and %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|.
+// It panics if the lengths differ.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: MaxAbsDiff of slices with lengths %d and %d", len(a), len(b)))
+	}
+	var mx float64
+	for i, v := range a {
+		if d := math.Abs(v - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns 0 when either input has zero variance, and an error when
+// the lengths differ or the sample is empty.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Pearson of slices with lengths %d and %d", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, fmt.Errorf("stats: Pearson: %w", ErrEmpty)
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// CorrelationMatrix returns the p-by-p Pearson correlation matrix of
+// the rows of x (each row is one variable's samples).
+func CorrelationMatrix(x *mat.Dense) (*mat.Dense, error) {
+	p, n := x.Dims()
+	if n == 0 {
+		return nil, fmt.Errorf("stats: correlation matrix: %w", ErrEmpty)
+	}
+	c := mat.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		c.Set(i, i, 1)
+		for j := i + 1; j < p; j++ {
+			r, err := Pearson(x.RawRow(i), x.RawRow(j))
+			if err != nil {
+				return nil, fmt.Errorf("stats: correlation of rows %d,%d: %w", i, j, err)
+			}
+			c.Set(i, j, r)
+			c.Set(j, i, r)
+		}
+	}
+	return c, nil
+}
+
+// CovarianceMatrix returns the p-by-p population covariance matrix of
+// the rows of x (each row is one variable's samples).
+func CovarianceMatrix(x *mat.Dense) (*mat.Dense, error) {
+	p, n := x.Dims()
+	if n == 0 {
+		return nil, fmt.Errorf("stats: covariance matrix: %w", ErrEmpty)
+	}
+	means := make([]float64, p)
+	for i := 0; i < p; i++ {
+		means[i] = Mean(x.RawRow(i))
+	}
+	c := mat.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		ri := x.RawRow(i)
+		for j := i; j < p; j++ {
+			rj := x.RawRow(j)
+			var s float64
+			for k := 0; k < n; k++ {
+				s += (ri[k] - means[i]) * (rj[k] - means[j])
+			}
+			s /= float64(n)
+			c.Set(i, j, s)
+			c.Set(j, i, s)
+		}
+	}
+	return c, nil
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) of xs using
+// linear interpolation between order statistics. It returns an error
+// for an empty sample or q outside [0,100].
+func Percentile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: percentile: %w", ErrEmpty)
+	}
+	if q < 0 || q > 100 {
+		return 0, fmt.Errorf("stats: percentile %v outside [0,100]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from the sample xs.
+// It returns an error for an empty sample.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: ECDF: %w", ErrEmpty)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At returns the fraction of samples <= x.
+func (e *ECDF) At(x float64) float64 {
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v with At(v) >= p, for
+// p in (0,1].
+func (e *ECDF) Quantile(p float64) float64 {
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// Points returns (x, F(x)) pairs for plotting, one per distinct sample.
+func (e *ECDF) Points() (xs, fs []float64) {
+	n := len(e.sorted)
+	xs = make([]float64, 0, n)
+	fs = make([]float64, 0, n)
+	for i, v := range e.sorted {
+		if i+1 < n && e.sorted[i+1] == v {
+			continue // keep the last occurrence only
+		}
+		xs = append(xs, v)
+		fs = append(fs, float64(i+1)/float64(n))
+	}
+	return xs, fs
+}
+
+// Histogram counts samples into nbins equal-width bins over [min,max].
+// Samples outside the range are clamped into the first/last bin.
+func Histogram(xs []float64, min, max float64, nbins int) ([]int, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: histogram with %d bins", nbins)
+	}
+	if max <= min {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v] is empty", min, max)
+	}
+	counts := make([]int, nbins)
+	w := (max - min) / float64(nbins)
+	for _, v := range xs {
+		b := int((v - min) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, nil
+}
+
+// MinMax returns the minimum and maximum of xs.
+// It returns an error for an empty sample.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: minmax: %w", ErrEmpty)
+	}
+	min, max = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, nil
+}

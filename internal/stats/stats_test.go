@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"auditherm/internal/mat"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("empty-sample moments should be NaN")
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 4, 0, 0}); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("RMS = %v, want 2.5", got)
+	}
+	if !math.IsNaN(RMS(nil)) {
+		t.Error("RMS(nil) should be NaN")
+	}
+	if got := RMSError([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("RMSError identical = %v, want 0", got)
+	}
+	if got := RMSError([]float64{2, 2}, []float64{0, 0}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("RMSError = %v, want 2", got)
+	}
+}
+
+func TestRMSErrorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMSError([]float64{1}, []float64{1, 2})
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 5, 3}, []float64{2, 2, 3}); got != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v (%v), want 1", r, err)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(x, yneg)
+	if err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson = %v (%v), want -1", r, err)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	r, err = Pearson(x, flat)
+	if err != nil || r != 0 {
+		t.Errorf("Pearson with zero-variance input = %v (%v), want 0", r, err)
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Pearson(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Pearson err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		for _, v := range append(append([]float64{}, xs[:n]...), ys[:n]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r, err := Pearson(xs[:n], ys[:n])
+		return err == nil && r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	// Rows: x, 2x (corr 1), -x (corr -1 with both).
+	x := mat.NewDenseData(3, 4, []float64{
+		1, 2, 3, 4,
+		2, 4, 6, 8,
+		-1, -2, -3, -4,
+	})
+	c, err := CorrelationMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.At(0, 1), 1, 1e-12) || !almostEqual(c.At(0, 2), -1, 1e-12) {
+		t.Errorf("correlation matrix:\n%v", c)
+	}
+	for i := 0; i < 3; i++ {
+		if c.At(i, i) != 1 {
+			t.Errorf("diagonal[%d] = %v, want 1", i, c.At(i, i))
+		}
+	}
+	if !c.IsSymmetric(0) {
+		t.Error("correlation matrix must be symmetric")
+	}
+	if _, err := CorrelationMatrix(mat.NewDense(2, 0)); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestCovarianceMatrix(t *testing.T) {
+	x := mat.NewDenseData(2, 3, []float64{
+		1, 2, 3,
+		4, 6, 8,
+	})
+	c, err := CovarianceMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// var(row0) = 2/3, var(row1) = 8/3, cov = 4/3.
+	if !almostEqual(c.At(0, 0), 2.0/3, 1e-12) {
+		t.Errorf("cov[0,0] = %v", c.At(0, 0))
+	}
+	if !almostEqual(c.At(1, 1), 8.0/3, 1e-12) {
+		t.Errorf("cov[1,1] = %v", c.At(1, 1))
+	}
+	if !almostEqual(c.At(0, 1), 4.0/3, 1e-12) {
+		t.Errorf("cov[0,1] = %v", c.At(0, 1))
+	}
+}
+
+func TestCovariancePSDProperty(t *testing.T) {
+	// Covariance matrices are positive semidefinite: x^T C x >= 0.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		p := 2 + rng.Intn(5)
+		n := 3 + rng.Intn(20)
+		x := mat.NewDense(p, n)
+		for i := 0; i < p; i++ {
+			for j := 0; j < n; j++ {
+				x.Set(i, j, rng.NormFloat64())
+			}
+		}
+		c, err := CovarianceMatrix(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := make([]float64, p)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		if q := mat.Dot(v, c.MulVec(v)); q < -1e-9 {
+			t.Errorf("trial %d: quadratic form %v < 0", trial, q)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {90, 9.1},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.q)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.q, err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("q=-1 accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("q=101 accepted")
+	}
+	one, err := Percentile([]float64{42}, 73)
+	if err != nil || one != 42 {
+		t.Errorf("single-sample percentile = %v (%v)", one, err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := e.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := e.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := e.Quantile(1); got != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", got)
+	}
+	xs, fs := e.Points()
+	if len(xs) != 3 || len(fs) != 3 {
+		t.Fatalf("Points lengths = %d,%d, want 3,3", len(xs), len(fs))
+	}
+	if fs[len(fs)-1] != 1 {
+		t.Errorf("last CDF point = %v, want 1", fs[len(fs)-1])
+	}
+	if _, err := NewECDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		_, fs := e.Points()
+		for i := 1; i < len(fs); i++ {
+			if fs[i] < fs[i-1] {
+				return false
+			}
+		}
+		return fs[len(fs)-1] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.55, 0.9, -5, 99}
+	counts, err := Histogram(xs, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -5 clamps into bin 0; 99 clamps into bin 1.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("Histogram = %v, want [3 3]", counts)
+	}
+	if _, err := Histogram(xs, 0, 1, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := Histogram(xs, 1, 1, 2); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v (%v)", min, max, err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}

@@ -1,0 +1,339 @@
+package sysid
+
+import (
+	"fmt"
+	"math"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/timeseries"
+)
+
+// Data couples the measured outputs and inputs on a common grid.
+// NaN entries mark missing measurements.
+type Data struct {
+	// Temps is p x N: one row per temperature sensor.
+	Temps *mat.Dense
+	// Inputs is m x N: one row per model input (VAV flows, occupancy,
+	// light, ambient).
+	Inputs *mat.Dense
+}
+
+// NumSensors returns p.
+func (d Data) NumSensors() int { return d.Temps.Rows() }
+
+// NumInputs returns m.
+func (d Data) NumInputs() int { return d.Inputs.Rows() }
+
+// Validate checks the two matrices cover the same steps.
+func (d Data) Validate() error {
+	if d.Temps == nil || d.Inputs == nil {
+		return fmt.Errorf("sysid: data needs both temps and inputs")
+	}
+	_, nt := d.Temps.Dims()
+	_, ni := d.Inputs.Dims()
+	if nt != ni {
+		return fmt.Errorf("sysid: temps cover %d steps but inputs cover %d", nt, ni)
+	}
+	return nil
+}
+
+// ValidMask returns the steps where every sensor and every input is
+// finite.
+func (d Data) ValidMask() ([]bool, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, 0, d.Temps.Rows()+d.Inputs.Rows())
+	for i := 0; i < d.Temps.Rows(); i++ {
+		rows = append(rows, d.Temps.RawRow(i))
+	}
+	for i := 0; i < d.Inputs.Rows(); i++ {
+		rows = append(rows, d.Inputs.RawRow(i))
+	}
+	return timeseries.ValidMask(rows)
+}
+
+// SelectSensors returns a Data view restricted to the given sensor row
+// indices (inputs unchanged). Rows are copied.
+func (d Data) SelectSensors(rows []int) Data {
+	cols := make([]int, d.Temps.Cols())
+	for i := range cols {
+		cols[i] = i
+	}
+	return Data{
+		Temps:  d.Temps.SubMatrix(rows, cols),
+		Inputs: d.Inputs.Clone(),
+	}
+}
+
+// Options tunes the identification.
+type Options struct {
+	// Ridge is the Tikhonov regularization weight; a small positive
+	// value keeps near-collinear regressors (e.g. four VAVs commanded
+	// identically) from blowing up the solve. Zero disables it.
+	Ridge float64
+	// MinSegment is the minimum number of contiguous valid steps a
+	// segment needs to contribute equations. Zero selects order+2.
+	MinSegment int
+	// StabilityRadius, when positive, projects the identified dynamics
+	// to at most this spectral radius and refits the input matrix B on
+	// the residuals with the dynamics held fixed. One-step least
+	// squares routinely returns marginally unstable thermal models
+	// (radius slightly above 1) whose free-run predictions diverge
+	// over a day; the projection trades a little one-step accuracy for
+	// bounded long-horizon error. Zero disables the projection;
+	// DefaultOptions uses 0.999, which only bites genuinely unstable
+	// fits.
+	StabilityRadius float64
+}
+
+// DefaultOptions returns the options used throughout the paper
+// reproduction.
+func DefaultOptions() Options {
+	return Options{Ridge: 1e-6, MinSegment: 0, StabilityRadius: 0.999}
+}
+
+// equations holds the assembled regression system: per equation the
+// temperature features (T(k), optionally dT(k)), the input features
+// u(k) and the p targets T(k+1).
+type equations struct {
+	tempFeat  [][]float64
+	inputFeat [][]float64
+	targets   [][]float64
+}
+
+// assemble gathers regression equations from every valid run inside
+// every window.
+func assemble(d Data, windows []timeseries.Segment, order Order, minSeg int) (*equations, error) {
+	mask, err := d.ValidMask()
+	if err != nil {
+		return nil, err
+	}
+	p := d.NumSensors()
+	m := d.NumInputs()
+	eqs := &equations{}
+	for _, w := range windows {
+		if w.Start < 0 || w.End > len(mask) || w.Start > w.End {
+			return nil, fmt.Errorf("sysid: window %+v outside %d-step data", w, len(mask))
+		}
+		for _, run := range timeseries.Segments(mask[w.Start:w.End]) {
+			runStart := w.Start + run.Start
+			runEnd := w.Start + run.End
+			if runEnd-runStart < minSeg {
+				continue
+			}
+			kFirst := runStart
+			if order == SecondOrder {
+				kFirst++ // need T(k-1)
+			}
+			for k := kFirst; k+1 < runEnd; k++ {
+				tf := make([]float64, 0, 2*p)
+				target := make([]float64, p)
+				for i := 0; i < p; i++ {
+					tf = append(tf, d.Temps.At(i, k))
+					target[i] = d.Temps.At(i, k+1)
+				}
+				if order == SecondOrder {
+					for i := 0; i < p; i++ {
+						tf = append(tf, d.Temps.At(i, k)-d.Temps.At(i, k-1))
+					}
+				}
+				uf := make([]float64, m)
+				for i := 0; i < m; i++ {
+					uf[i] = d.Inputs.At(i, k)
+				}
+				eqs.tempFeat = append(eqs.tempFeat, tf)
+				eqs.inputFeat = append(eqs.inputFeat, uf)
+				eqs.targets = append(eqs.targets, target)
+			}
+		}
+	}
+	return eqs, nil
+}
+
+// solveRidge solves min ||X theta - Y||^2 + ridge ||theta||^2 with one
+// QR factorization shared across the targets' columns.
+func solveRidge(x, y *mat.Dense, ridge float64) (*mat.Dense, error) {
+	rows, nf := x.Dims()
+	_, nt := y.Dims()
+	aug := x
+	rhs := y
+	if ridge > 0 {
+		aug = mat.NewDense(rows+nf, nf)
+		rhs = mat.NewDense(rows+nf, nt)
+		for r := 0; r < rows; r++ {
+			copy(aug.RawRow(r), x.RawRow(r))
+			copy(rhs.RawRow(r), y.RawRow(r))
+		}
+		s := math.Sqrt(ridge)
+		for j := 0; j < nf; j++ {
+			aug.Set(rows+j, j, s)
+		}
+	}
+	qr, err := mat.NewQR(aug)
+	if err != nil {
+		return nil, fmt.Errorf("sysid: factoring design matrix: %w", err)
+	}
+	theta, err := qr.SolveMatrix(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("sysid: solving normal equations: %w", err)
+	}
+	return theta, nil
+}
+
+// Fit identifies a thermal model of the given order from the valid
+// segments of data inside the given windows (paper eq. 4: an ensemble
+// of contiguous intervals solved as one least-squares problem).
+func Fit(d Data, windows []timeseries.Segment, order Order, opts Options) (*Model, error) {
+	if order != FirstOrder && order != SecondOrder {
+		return nil, fmt.Errorf("sysid: unsupported order %v", order)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Ridge < 0 {
+		return nil, fmt.Errorf("sysid: negative ridge %v", opts.Ridge)
+	}
+	if opts.StabilityRadius < 0 || opts.StabilityRadius >= 1.5 {
+		return nil, fmt.Errorf("sysid: stability radius %v outside [0, 1.5)", opts.StabilityRadius)
+	}
+	minSeg := opts.MinSegment
+	if minSeg <= 0 {
+		minSeg = int(order) + 2
+	}
+	p := d.NumSensors()
+	m := d.NumInputs()
+	nf := p + m
+	if order == SecondOrder {
+		nf += p
+	}
+	eqs, err := assemble(d, windows, order, minSeg)
+	if err != nil {
+		return nil, err
+	}
+	nEq := len(eqs.targets)
+	if nEq < nf {
+		return nil, fmt.Errorf("sysid: %d equations for %d unknowns per sensor: %w",
+			nEq, nf, ErrInsufficientData)
+	}
+
+	// Full joint solve for [A | A2 | B].
+	x := mat.NewDense(nEq, nf)
+	y := mat.NewDense(nEq, p)
+	for r := 0; r < nEq; r++ {
+		row := x.RawRow(r)
+		copy(row, eqs.tempFeat[r])
+		copy(row[len(eqs.tempFeat[r]):], eqs.inputFeat[r])
+		copy(y.RawRow(r), eqs.targets[r])
+	}
+	theta, err := solveRidge(x, y, opts.Ridge)
+	if err != nil {
+		return nil, err
+	}
+	model := &Model{Order: order, A: mat.NewDense(p, p), B: mat.NewDense(p, m)}
+	if order == SecondOrder {
+		model.A2 = mat.NewDense(p, p)
+	}
+	for i := 0; i < p; i++ {
+		col := theta.Col(i)
+		copy(model.A.RawRow(i), col[:p])
+		rest := col[p:]
+		if order == SecondOrder {
+			copy(model.A2.RawRow(i), rest[:p])
+			rest = rest[p:]
+		}
+		copy(model.B.RawRow(i), rest)
+	}
+
+	if opts.StabilityRadius > 0 {
+		if err := model.stabilize(eqs, opts); err != nil {
+			return nil, err
+		}
+	}
+	return model, nil
+}
+
+// stabilize shrinks the dynamics to the target spectral radius and
+// refits B on the residuals with the dynamics held fixed.
+func (m *Model) stabilize(eqs *equations, opts Options) error {
+	rho, err := m.SpectralRadius()
+	if err != nil {
+		return err
+	}
+	if rho <= opts.StabilityRadius {
+		return nil
+	}
+	for iter := 0; iter < 100 && rho > opts.StabilityRadius; iter++ {
+		s := opts.StabilityRadius / rho
+		m.A = m.A.Scale(s)
+		if m.A2 != nil {
+			m.A2 = m.A2.Scale(s)
+		}
+		rho, err = m.SpectralRadius()
+		if err != nil {
+			return err
+		}
+	}
+	// Refit B: targets become the one-step residuals after the (now
+	// stable) dynamics term.
+	p := m.NumSensors()
+	mi := m.NumInputs()
+	nEq := len(eqs.targets)
+	x := mat.NewDense(nEq, mi)
+	y := mat.NewDense(nEq, p)
+	for r := 0; r < nEq; r++ {
+		copy(x.RawRow(r), eqs.inputFeat[r])
+		tf := eqs.tempFeat[r]
+		pred := m.A.MulVec(tf[:p])
+		if m.Order == SecondOrder {
+			mat.Axpy(1, m.A2.MulVec(tf[p:2*p]), pred)
+		}
+		row := y.RawRow(r)
+		for i := 0; i < p; i++ {
+			row[i] = eqs.targets[r][i] - pred[i]
+		}
+	}
+	ridge := opts.Ridge
+	if ridge <= 0 {
+		ridge = 1e-9 // identical VAV commands make B's columns collinear
+	}
+	theta, err := solveRidge(x, y, ridge)
+	if err != nil {
+		return fmt.Errorf("sysid: refitting B after stabilization: %w", err)
+	}
+	for i := 0; i < p; i++ {
+		copy(m.B.RawRow(i), theta.Col(i)[:mi])
+	}
+	return nil
+}
+
+// FitDecoupled identifies one independent single-sensor model per
+// temperature channel (each sensor predicted from its own history and
+// the shared inputs only) and assembles them into a block-diagonal
+// Model. This is the "traditional single sensor model" the paper's
+// conclusion argues against: it cannot represent the thermal
+// interactions between locations that the coupled model's off-diagonal
+// A entries capture.
+func FitDecoupled(d Data, windows []timeseries.Segment, order Order, opts Options) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	p := d.NumSensors()
+	m := d.NumInputs()
+	model := &Model{Order: order, A: mat.NewDense(p, p), B: mat.NewDense(p, m)}
+	if order == SecondOrder {
+		model.A2 = mat.NewDense(p, p)
+	}
+	for i := 0; i < p; i++ {
+		sub, err := Fit(d.SelectSensors([]int{i}), windows, order, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sysid: decoupled fit of sensor %d: %w", i, err)
+		}
+		model.A.Set(i, i, sub.A.At(0, 0))
+		if order == SecondOrder {
+			model.A2.Set(i, i, sub.A2.At(0, 0))
+		}
+		copy(model.B.RawRow(i), sub.B.RawRow(0))
+	}
+	return model, nil
+}

@@ -1,0 +1,122 @@
+package sysid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"auditherm/internal/mat"
+)
+
+// modelJSON is the stable on-disk representation of a Model. Matrices
+// are stored row-major with explicit dimensions so a reader in any
+// language can consume them.
+type modelJSON struct {
+	Version int         `json:"version"`
+	Order   int         `json:"order"`
+	Sensors int         `json:"sensors"`
+	Inputs  int         `json:"inputs"`
+	A       []float64   `json:"a"`
+	A2      []float64   `json:"a2,omitempty"`
+	B       []float64   `json:"b"`
+	Names   *ModelNames `json:"names,omitempty"`
+}
+
+// ModelNames optionally labels a persisted model's outputs and inputs.
+type ModelNames struct {
+	Sensors []string `json:"sensors,omitempty"`
+	Inputs  []string `json:"inputs,omitempty"`
+}
+
+// persistVersion is bumped on breaking format changes.
+const persistVersion = 1
+
+// Save writes the model as JSON. names may be nil.
+func (m *Model) Save(w io.Writer, names *ModelNames) error {
+	p := m.NumSensors()
+	mi := m.NumInputs()
+	if names != nil {
+		if len(names.Sensors) != 0 && len(names.Sensors) != p {
+			return fmt.Errorf("sysid: %d sensor names for %d sensors", len(names.Sensors), p)
+		}
+		if len(names.Inputs) != 0 && len(names.Inputs) != mi {
+			return fmt.Errorf("sysid: %d input names for %d inputs", len(names.Inputs), mi)
+		}
+	}
+	enc := modelJSON{
+		Version: persistVersion,
+		Order:   int(m.Order),
+		Sensors: p,
+		Inputs:  mi,
+		A:       flatten(m.A),
+		B:       flatten(m.B),
+		Names:   names,
+	}
+	if m.Order == SecondOrder {
+		enc.A2 = flatten(m.A2)
+	}
+	e := json.NewEncoder(w)
+	e.SetIndent("", " ")
+	if err := e.Encode(enc); err != nil {
+		return fmt.Errorf("sysid: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save, returning the model and any
+// names stored with it.
+func Load(r io.Reader) (*Model, *ModelNames, error) {
+	var dec modelJSON
+	if err := json.NewDecoder(r).Decode(&dec); err != nil {
+		return nil, nil, fmt.Errorf("sysid: decoding model: %w", err)
+	}
+	if dec.Version != persistVersion {
+		return nil, nil, fmt.Errorf("sysid: model format version %d, want %d", dec.Version, persistVersion)
+	}
+	order := Order(dec.Order)
+	if order != FirstOrder && order != SecondOrder {
+		return nil, nil, fmt.Errorf("sysid: persisted order %d unsupported", dec.Order)
+	}
+	p, mi := dec.Sensors, dec.Inputs
+	if p <= 0 || mi <= 0 {
+		return nil, nil, fmt.Errorf("sysid: persisted dimensions %dx%d invalid", p, mi)
+	}
+	if len(dec.A) != p*p {
+		return nil, nil, fmt.Errorf("sysid: A has %d values, want %d", len(dec.A), p*p)
+	}
+	if len(dec.B) != p*mi {
+		return nil, nil, fmt.Errorf("sysid: B has %d values, want %d", len(dec.B), p*mi)
+	}
+	m := &Model{
+		Order: order,
+		A:     mat.NewDenseData(p, p, append([]float64(nil), dec.A...)),
+		B:     mat.NewDenseData(p, mi, append([]float64(nil), dec.B...)),
+	}
+	if order == SecondOrder {
+		if len(dec.A2) != p*p {
+			return nil, nil, fmt.Errorf("sysid: A2 has %d values, want %d", len(dec.A2), p*p)
+		}
+		m.A2 = mat.NewDenseData(p, p, append([]float64(nil), dec.A2...))
+	} else if len(dec.A2) != 0 {
+		return nil, nil, fmt.Errorf("sysid: first-order model carries an A2 block")
+	}
+	if dec.Names != nil {
+		if len(dec.Names.Sensors) != 0 && len(dec.Names.Sensors) != p {
+			return nil, nil, fmt.Errorf("sysid: %d persisted sensor names for %d sensors", len(dec.Names.Sensors), p)
+		}
+		if len(dec.Names.Inputs) != 0 && len(dec.Names.Inputs) != mi {
+			return nil, nil, fmt.Errorf("sysid: %d persisted input names for %d inputs", len(dec.Names.Inputs), mi)
+		}
+	}
+	return m, dec.Names, nil
+}
+
+// flatten copies a matrix row-major.
+func flatten(m *mat.Dense) []float64 {
+	r, c := m.Dims()
+	out := make([]float64, 0, r*c)
+	for i := 0; i < r; i++ {
+		out = append(out, m.RawRow(i)...)
+	}
+	return out
+}

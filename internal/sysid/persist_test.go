@@ -1,0 +1,100 @@
+package sysid
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, order := range []Order{FirstOrder, SecondOrder} {
+		sys := synthFirstOrder()
+		if order == SecondOrder {
+			sys = synthSecondOrder()
+		}
+		d := sys.generate(rng, 300, 0.01)
+		m, err := Fit(d, fullWindow(d), order, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := &ModelNames{Sensors: []string{"s1", "s2"}, Inputs: []string{"u1", "u2"}}
+		var buf bytes.Buffer
+		if err := m.Save(&buf, names); err != nil {
+			t.Fatalf("%v save: %v", order, err)
+		}
+		got, gotNames, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%v load: %v", order, err)
+		}
+		if got.Order != m.Order {
+			t.Errorf("order %v, want %v", got.Order, m.Order)
+		}
+		if !got.A.Equal(m.A, 0) || !got.B.Equal(m.B, 0) {
+			t.Errorf("%v: matrices changed in round trip", order)
+		}
+		if order == SecondOrder && !got.A2.Equal(m.A2, 0) {
+			t.Errorf("A2 changed in round trip")
+		}
+		if gotNames == nil || gotNames.Sensors[1] != "s2" || gotNames.Inputs[0] != "u1" {
+			t.Errorf("names = %+v", gotNames)
+		}
+		// The loaded model predicts identically.
+		x := []float64{20, 21}
+		u := []float64{1, 2}
+		dt := []float64{0.1, -0.1}
+		a, err := m.Predict(x, dt, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Predict(x, dt, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%v: prediction differs at %d", order, i)
+			}
+		}
+	}
+}
+
+func TestSaveValidatesNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	sys := synthFirstOrder()
+	d := sys.generate(rng, 100, 0)
+	m, err := Fit(d, fullWindow(d), FirstOrder, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf, &ModelNames{Sensors: []string{"only-one"}}); err == nil {
+		t.Error("wrong sensor-name count accepted")
+	}
+	if err := m.Save(&buf, &ModelNames{Inputs: []string{"a", "b", "c"}}); err == nil {
+		t.Error("wrong input-name count accepted")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "hello"},
+		{"bad version", `{"version":99,"order":1,"sensors":1,"inputs":1,"a":[1],"b":[1]}`},
+		{"bad order", `{"version":1,"order":3,"sensors":1,"inputs":1,"a":[1],"b":[1]}`},
+		{"zero sensors", `{"version":1,"order":1,"sensors":0,"inputs":1,"a":[],"b":[]}`},
+		{"short A", `{"version":1,"order":1,"sensors":2,"inputs":1,"a":[1],"b":[1,2]}`},
+		{"short B", `{"version":1,"order":1,"sensors":1,"inputs":2,"a":[1],"b":[1]}`},
+		{"spurious A2", `{"version":1,"order":1,"sensors":1,"inputs":1,"a":[1],"a2":[1],"b":[1]}`},
+		{"missing A2", `{"version":1,"order":2,"sensors":1,"inputs":1,"a":[1],"b":[1]}`},
+		{"bad names", `{"version":1,"order":1,"sensors":1,"inputs":1,"a":[1],"b":[1],"names":{"sensors":["a","b"]}}`},
+	}
+	for _, c := range cases {
+		if _, _, err := Load(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package timeseries provides timestamped series, regular sampling
+// grids, multi-channel frames and gap/segment bookkeeping.
+//
+// The auditorium dataset of the paper mixes event-driven wireless
+// sensor readings (sent only on a 0.1 degC change), HVAC portal logs at
+// 10-30 minute intervals and 15-minute camera snapshots; identification
+// needs all of them aligned on one regular grid with explicit gaps.
+// This package is that alignment layer.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrEmpty is returned (wrapped) when an operation needs a non-empty
+// series.
+var ErrEmpty = errors.New("timeseries: empty series")
+
+// Sample is one timestamped observation.
+type Sample struct {
+	Time  time.Time
+	Value float64
+}
+
+// Series is a named, time-ordered sequence of samples.
+// The zero value is an empty series ready for use.
+type Series struct {
+	Name    string
+	samples []Sample
+}
+
+// NewSeries returns an empty series with the given name.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append adds a sample, keeping the series time-ordered. Appending in
+// time order is O(1); out-of-order samples are inserted at the right
+// position.
+func (s *Series) Append(t time.Time, v float64) {
+	smp := Sample{Time: t, Value: v}
+	n := len(s.samples)
+	if n == 0 || !t.Before(s.samples[n-1].Time) {
+		s.samples = append(s.samples, smp)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return s.samples[i].Time.After(t) })
+	s.samples = append(s.samples, Sample{})
+	copy(s.samples[i+1:], s.samples[i:])
+	s.samples[i] = smp
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// At returns the i-th sample in time order.
+func (s *Series) At(i int) Sample { return s.samples[i] }
+
+// Samples returns a copy of all samples in time order.
+func (s *Series) Samples() []Sample {
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// First returns the earliest sample.
+// It returns an error for an empty series.
+func (s *Series) First() (Sample, error) {
+	if len(s.samples) == 0 {
+		return Sample{}, fmt.Errorf("timeseries: First of %q: %w", s.Name, ErrEmpty)
+	}
+	return s.samples[0], nil
+}
+
+// Last returns the latest sample.
+// It returns an error for an empty series.
+func (s *Series) Last() (Sample, error) {
+	if len(s.samples) == 0 {
+		return Sample{}, fmt.Errorf("timeseries: Last of %q: %w", s.Name, ErrEmpty)
+	}
+	return s.samples[len(s.samples)-1], nil
+}
+
+// ValueAt returns the sample value holding at time t (zero-order hold:
+// the most recent sample at or before t). ok is false when t precedes
+// the first sample.
+func (s *Series) ValueAt(t time.Time) (v float64, ok bool) {
+	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Time.After(t) })
+	if i == 0 {
+		return 0, false
+	}
+	return s.samples[i-1].Value, true
+}
+
+// InterpAt returns the linearly interpolated value at time t.
+// ok is false when t is outside the sampled span.
+func (s *Series) InterpAt(t time.Time) (v float64, ok bool) {
+	n := len(s.samples)
+	if n == 0 || t.Before(s.samples[0].Time) || t.After(s.samples[n-1].Time) {
+		return 0, false
+	}
+	i := sort.Search(n, func(i int) bool { return !s.samples[i].Time.Before(t) })
+	if s.samples[i].Time.Equal(t) {
+		return s.samples[i].Value, true
+	}
+	a, b := s.samples[i-1], s.samples[i]
+	span := b.Time.Sub(a.Time).Seconds()
+	if span == 0 {
+		return b.Value, true
+	}
+	frac := t.Sub(a.Time).Seconds() / span
+	return a.Value + frac*(b.Value-a.Value), true
+}
+
+// Between returns a copy of the samples with Time in [t0, t1).
+func (s *Series) Between(t0, t1 time.Time) []Sample {
+	lo := sort.Search(len(s.samples), func(i int) bool { return !s.samples[i].Time.Before(t0) })
+	hi := sort.Search(len(s.samples), func(i int) bool { return !s.samples[i].Time.Before(t1) })
+	out := make([]Sample, hi-lo)
+	copy(out, s.samples[lo:hi])
+	return out
+}
+
+// MaxGap returns the largest spacing between consecutive samples, or 0
+// for series with fewer than two samples.
+func (s *Series) MaxGap() time.Duration {
+	var mx time.Duration
+	for i := 1; i < len(s.samples); i++ {
+		if d := s.samples[i].Time.Sub(s.samples[i-1].Time); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Grid is a regular sampling grid: N instants spaced Step apart
+// starting at Start.
+type Grid struct {
+	Start time.Time
+	Step  time.Duration
+	N     int
+}
+
+// NewGrid returns a grid covering [start, end) with the given step.
+// It returns an error when step is not positive or end precedes start.
+func NewGrid(start, end time.Time, step time.Duration) (Grid, error) {
+	if step <= 0 {
+		return Grid{}, fmt.Errorf("timeseries: grid step %v must be positive", step)
+	}
+	if end.Before(start) {
+		return Grid{}, fmt.Errorf("timeseries: grid end %v precedes start %v", end, start)
+	}
+	n := int(end.Sub(start) / step)
+	if start.Add(time.Duration(n) * step).Before(end) {
+		n++
+	}
+	return Grid{Start: start, Step: step, N: n}, nil
+}
+
+// Time returns the instant of grid index k.
+func (g Grid) Time(k int) time.Time { return g.Start.Add(time.Duration(k) * g.Step) }
+
+// Times returns all grid instants.
+func (g Grid) Times() []time.Time {
+	out := make([]time.Time, g.N)
+	for k := range out {
+		out[k] = g.Time(k)
+	}
+	return out
+}
+
+// Index returns the grid index containing t (floor), and whether t is
+// within the grid span.
+func (g Grid) Index(t time.Time) (int, bool) {
+	if t.Before(g.Start) {
+		return 0, false
+	}
+	k := int(t.Sub(g.Start) / g.Step)
+	if k >= g.N {
+		return g.N - 1, false
+	}
+	return k, true
+}
+
+// Resample evaluates the series on grid g with zero-order hold, but
+// only when the hold is fresh enough: a grid point further than
+// maxStale after the most recent sample is marked invalid (NaN). Pass
+// maxStale <= 0 to accept arbitrarily stale holds.
+func (s *Series) Resample(g Grid, maxStale time.Duration) []float64 {
+	out := make([]float64, g.N)
+	for k := 0; k < g.N; k++ {
+		t := g.Time(k)
+		i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Time.After(t) })
+		if i == 0 {
+			out[k] = math.NaN()
+			continue
+		}
+		smp := s.samples[i-1]
+		if maxStale > 0 && t.Sub(smp.Time) > maxStale {
+			out[k] = math.NaN()
+			continue
+		}
+		out[k] = smp.Value
+	}
+	return out
+}
+
+// Segment is a maximal run [Start, End) of contiguous valid grid
+// indices.
+type Segment struct {
+	Start, End int // half-open index range
+}
+
+// Len returns the number of grid indices in the segment.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Segments returns the maximal runs of true values in valid.
+func Segments(valid []bool) []Segment {
+	var out []Segment
+	start := -1
+	for i, v := range valid {
+		switch {
+		case v && start < 0:
+			start = i
+		case !v && start >= 0:
+			out = append(out, Segment{Start: start, End: i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, Segment{Start: start, End: len(valid)})
+	}
+	return out
+}
+
+// ValidMask returns a mask that is true where every row of values is
+// finite at that index. values is indexed [channel][step]; all channels
+// must have equal length.
+func ValidMask(values [][]float64) ([]bool, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("timeseries: valid mask: %w", ErrEmpty)
+	}
+	n := len(values[0])
+	for c, row := range values {
+		if len(row) != n {
+			return nil, fmt.Errorf("timeseries: channel %d has length %d, want %d", c, len(row), n)
+		}
+	}
+	mask := make([]bool, n)
+	for k := 0; k < n; k++ {
+		ok := true
+		for _, row := range values {
+			if math.IsNaN(row[k]) || math.IsInf(row[k], 0) {
+				ok = false
+				break
+			}
+		}
+		mask[k] = ok
+	}
+	return mask, nil
+}

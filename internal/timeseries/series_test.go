@@ -1,0 +1,292 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2013, time.January, 31, 0, 0, 0, 0, time.UTC)
+
+func TestSeriesAppendOrdered(t *testing.T) {
+	s := NewSeries("temp")
+	for i := 0; i < 5; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if s.At(i).Value != float64(i) {
+			t.Errorf("At(%d).Value = %v, want %v", i, s.At(i).Value, i)
+		}
+	}
+}
+
+func TestSeriesAppendOutOfOrder(t *testing.T) {
+	s := NewSeries("temp")
+	order := []int{3, 0, 4, 1, 2}
+	for _, i := range order {
+		s.Append(t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		if got := s.At(i).Value; got != float64(i) {
+			t.Errorf("At(%d).Value = %v, want %v", i, got, i)
+		}
+	}
+}
+
+func TestSeriesAppendRandomOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		s := NewSeries("x")
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			s.Append(t0.Add(time.Duration(rng.Intn(1000))*time.Second), rng.Float64())
+		}
+		for i := 1; i < s.Len(); i++ {
+			if s.At(i).Time.Before(s.At(i - 1).Time) {
+				t.Fatalf("trial %d: series not time-ordered at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	s := NewSeries("x")
+	if _, err := s.First(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("First on empty = %v, want ErrEmpty", err)
+	}
+	if _, err := s.Last(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Last on empty = %v, want ErrEmpty", err)
+	}
+	s.Append(t0, 1)
+	s.Append(t0.Add(time.Hour), 2)
+	f, _ := s.First()
+	l, _ := s.Last()
+	if f.Value != 1 || l.Value != 2 {
+		t.Errorf("First/Last = %v/%v", f.Value, l.Value)
+	}
+}
+
+func TestValueAtHold(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(t0, 10)
+	s.Append(t0.Add(10*time.Minute), 20)
+	if _, ok := s.ValueAt(t0.Add(-time.Second)); ok {
+		t.Error("value before first sample should not be ok")
+	}
+	if v, ok := s.ValueAt(t0); !ok || v != 10 {
+		t.Errorf("ValueAt(t0) = %v,%v", v, ok)
+	}
+	if v, ok := s.ValueAt(t0.Add(5 * time.Minute)); !ok || v != 10 {
+		t.Errorf("ValueAt(+5m) = %v,%v, want hold of 10", v, ok)
+	}
+	if v, ok := s.ValueAt(t0.Add(time.Hour)); !ok || v != 20 {
+		t.Errorf("ValueAt(+1h) = %v,%v", v, ok)
+	}
+}
+
+func TestInterpAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(t0, 0)
+	s.Append(t0.Add(10*time.Minute), 10)
+	if v, ok := s.InterpAt(t0.Add(5 * time.Minute)); !ok || v != 5 {
+		t.Errorf("InterpAt midpoint = %v,%v, want 5", v, ok)
+	}
+	if v, ok := s.InterpAt(t0); !ok || v != 0 {
+		t.Errorf("InterpAt(t0) = %v,%v", v, ok)
+	}
+	if _, ok := s.InterpAt(t0.Add(11 * time.Minute)); ok {
+		t.Error("extrapolation should not be ok")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	got := s.Between(t0.Add(2*time.Minute), t0.Add(5*time.Minute))
+	if len(got) != 3 || got[0].Value != 2 || got[2].Value != 4 {
+		t.Errorf("Between = %v", got)
+	}
+}
+
+func TestMaxGap(t *testing.T) {
+	s := NewSeries("x")
+	if s.MaxGap() != 0 {
+		t.Error("MaxGap of empty series should be 0")
+	}
+	s.Append(t0, 0)
+	s.Append(t0.Add(time.Minute), 0)
+	s.Append(t0.Add(10*time.Minute), 0)
+	if got := s.MaxGap(); got != 9*time.Minute {
+		t.Errorf("MaxGap = %v, want 9m", got)
+	}
+}
+
+func TestNewGrid(t *testing.T) {
+	g, err := NewGrid(t0, t0.Add(time.Hour), 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 {
+		t.Errorf("N = %d, want 4", g.N)
+	}
+	if !g.Time(3).Equal(t0.Add(45 * time.Minute)) {
+		t.Errorf("Time(3) = %v", g.Time(3))
+	}
+	// Partial last step rounds up.
+	g2, err := NewGrid(t0, t0.Add(50*time.Minute), 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != 4 {
+		t.Errorf("partial N = %d, want 4", g2.N)
+	}
+	if _, err := NewGrid(t0, t0, -time.Minute); err == nil {
+		t.Error("negative step accepted")
+	}
+	if _, err := NewGrid(t0.Add(time.Hour), t0, time.Minute); err == nil {
+		t.Error("reversed range accepted")
+	}
+}
+
+func TestGridIndex(t *testing.T) {
+	g, _ := NewGrid(t0, t0.Add(time.Hour), 15*time.Minute)
+	if k, ok := g.Index(t0.Add(16 * time.Minute)); !ok || k != 1 {
+		t.Errorf("Index = %d,%v, want 1,true", k, ok)
+	}
+	if _, ok := g.Index(t0.Add(-time.Second)); ok {
+		t.Error("index before start should not be ok")
+	}
+	if _, ok := g.Index(t0.Add(2 * time.Hour)); ok {
+		t.Error("index after end should not be ok")
+	}
+}
+
+func TestResampleStaleness(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(t0, 1)
+	s.Append(t0.Add(40*time.Minute), 2)
+	g, _ := NewGrid(t0, t0.Add(time.Hour), 15*time.Minute)
+	vals := s.Resample(g, 20*time.Minute)
+	// k=0: fresh (age 0). k=1: age 15m ok. k=2: age 30m stale. k=3: new
+	// sample at 40m, age 5m ok.
+	if vals[0] != 1 || vals[1] != 1 {
+		t.Errorf("vals[0:2] = %v", vals[:2])
+	}
+	if !math.IsNaN(vals[2]) {
+		t.Errorf("vals[2] = %v, want NaN (stale)", vals[2])
+	}
+	if vals[3] != 2 {
+		t.Errorf("vals[3] = %v, want 2", vals[3])
+	}
+	// maxStale <= 0 disables staleness.
+	vals = s.Resample(g, 0)
+	if math.IsNaN(vals[2]) {
+		t.Error("staleness should be disabled with maxStale=0")
+	}
+}
+
+func TestResampleBeforeFirstSample(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(t0.Add(30*time.Minute), 5)
+	g, _ := NewGrid(t0, t0.Add(time.Hour), 15*time.Minute)
+	vals := s.Resample(g, 0)
+	if !math.IsNaN(vals[0]) || !math.IsNaN(vals[1]) {
+		t.Errorf("values before first sample should be NaN: %v", vals[:2])
+	}
+	if vals[2] != 5 {
+		t.Errorf("vals[2] = %v, want 5", vals[2])
+	}
+}
+
+func TestSegments(t *testing.T) {
+	cases := []struct {
+		name  string
+		valid []bool
+		want  []Segment
+	}{
+		{"empty", nil, nil},
+		{"all false", []bool{false, false}, nil},
+		{"all true", []bool{true, true, true}, []Segment{{0, 3}}},
+		{"middle gap", []bool{true, false, true, true}, []Segment{{0, 1}, {2, 4}}},
+		{"trailing run", []bool{false, true}, []Segment{{1, 2}}},
+	}
+	for _, c := range cases {
+		got := Segments(c.valid)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: Segments = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: Segments[%d] = %v, want %v", c.name, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestValidMask(t *testing.T) {
+	vals := [][]float64{
+		{1, math.NaN(), 3, 4},
+		{1, 2, math.Inf(1), 4},
+	}
+	mask, err := ValidMask(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, false, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("mask[%d] = %v, want %v", i, mask[i], want[i])
+		}
+	}
+	if _, err := ValidMask(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := ValidMask([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged channels accepted")
+	}
+}
+
+// Property: Segments returns disjoint, in-order, maximal runs that
+// exactly cover the true entries.
+func TestSegmentsCoverageProperty(t *testing.T) {
+	f := func(valid []bool) bool {
+		segs := Segments(valid)
+		covered := make([]bool, len(valid))
+		prevEnd := -1
+		for _, s := range segs {
+			if s.Start < 0 || s.End > len(valid) || s.Start >= s.End {
+				return false
+			}
+			if s.Start <= prevEnd {
+				return false // overlapping or touching (non-maximal)
+			}
+			prevEnd = s.End
+			for i := s.Start; i < s.End; i++ {
+				covered[i] = true
+			}
+		}
+		for i, v := range valid {
+			if covered[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickCheck wraps testing/quick with default config.
+func quickCheck(f interface{}) error {
+	return quick.Check(f, nil)
+}

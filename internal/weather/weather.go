@@ -1,0 +1,115 @@
+// Package weather generates ambient (outdoor) temperature traces for
+// the auditorium simulation.
+//
+// The paper's dataset spans January 31 to May 8, 2013 in St. Louis: a
+// late-winter to mid-spring transition. The model is a seasonal trend
+// plus a diurnal cycle plus AR(1) weather noise, which reproduces the
+// range and temporal correlation structure an identification pipeline
+// sees from a real ambient-temperature feed.
+package weather
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"auditherm/internal/timeseries"
+)
+
+// Config parameterizes the ambient temperature model. All temperatures
+// are in degrees Celsius.
+type Config struct {
+	// SeasonStartMean is the daily-mean temperature at the trace start.
+	SeasonStartMean float64
+	// SeasonEndMean is the daily-mean temperature at the trace end.
+	SeasonEndMean float64
+	// DiurnalAmplitude is half the typical day-night swing.
+	DiurnalAmplitude float64
+	// DiurnalPeakHour is the local hour of the daily maximum.
+	DiurnalPeakHour float64
+	// NoiseStdDev is the stationary standard deviation of the AR(1)
+	// weather noise.
+	NoiseStdDev float64
+	// NoiseCorrHours is the e-folding correlation time of the noise.
+	NoiseCorrHours float64
+	// Seed drives the deterministic noise process.
+	Seed int64
+}
+
+// DefaultConfig returns parameters tuned for St. Louis, late January
+// through early May: daily means climbing from around freezing to the
+// high teens, a 5 degC diurnal half-swing peaking mid-afternoon.
+func DefaultConfig() Config {
+	return Config{
+		SeasonStartMean:  1.0,
+		SeasonEndMean:    18.0,
+		DiurnalAmplitude: 5.0,
+		DiurnalPeakHour:  15.0,
+		NoiseStdDev:      3.0,
+		NoiseCorrHours:   18.0,
+		Seed:             1,
+	}
+}
+
+// Model produces ambient temperature traces.
+type Model struct {
+	cfg Config
+}
+
+// NewModel validates cfg and returns a model.
+func NewModel(cfg Config) (*Model, error) {
+	if cfg.DiurnalAmplitude < 0 {
+		return nil, fmt.Errorf("weather: negative diurnal amplitude %v", cfg.DiurnalAmplitude)
+	}
+	if cfg.NoiseStdDev < 0 {
+		return nil, fmt.Errorf("weather: negative noise std dev %v", cfg.NoiseStdDev)
+	}
+	if cfg.NoiseCorrHours <= 0 {
+		return nil, fmt.Errorf("weather: noise correlation time %vh must be positive", cfg.NoiseCorrHours)
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// MeanAt returns the deterministic (noise-free) component of the
+// ambient temperature at time t, given the trace start and end that
+// anchor the seasonal ramp.
+func (m *Model) MeanAt(t, start, end time.Time) float64 {
+	span := end.Sub(start).Hours()
+	var frac float64
+	if span > 0 {
+		frac = t.Sub(start).Hours() / span
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	seasonal := m.cfg.SeasonStartMean + frac*(m.cfg.SeasonEndMean-m.cfg.SeasonStartMean)
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	diurnal := m.cfg.DiurnalAmplitude * math.Cos(2*math.Pi*(hour-m.cfg.DiurnalPeakHour)/24)
+	return seasonal + diurnal
+}
+
+// Series generates the ambient temperature on the given grid. The
+// seasonal ramp is anchored to the grid span; AR(1) noise is generated
+// at the grid step from the configured seed, so equal configurations
+// and grids yield identical traces.
+func (m *Model) Series(g timeseries.Grid) *timeseries.Series {
+	s := timeseries.NewSeries("ambient")
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	start := g.Time(0)
+	end := g.Time(g.N - 1)
+	stepHours := g.Step.Hours()
+	phi := math.Exp(-stepHours / m.cfg.NoiseCorrHours)
+	// Innovation variance keeping the process stationary at NoiseStdDev.
+	innov := m.cfg.NoiseStdDev * math.Sqrt(1-phi*phi)
+	noise := rng.NormFloat64() * m.cfg.NoiseStdDev
+	for k := 0; k < g.N; k++ {
+		t := g.Time(k)
+		s.Append(t, m.MeanAt(t, start, end)+noise)
+		noise = phi*noise + innov*rng.NormFloat64()
+	}
+	return s
+}

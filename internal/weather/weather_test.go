@@ -1,0 +1,147 @@
+package weather
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"auditherm/internal/stats"
+	"auditherm/internal/timeseries"
+)
+
+var (
+	start = time.Date(2013, time.January, 31, 0, 0, 0, 0, time.UTC)
+	end   = time.Date(2013, time.May, 9, 0, 0, 0, 0, time.UTC)
+)
+
+func mustModel(t *testing.T, cfg Config) *Model {
+	t.Helper()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative amplitude", func(c *Config) { c.DiurnalAmplitude = -1 }},
+		{"negative noise", func(c *Config) { c.NoiseStdDev = -0.5 }},
+		{"zero correlation", func(c *Config) { c.NoiseCorrHours = 0 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		c.mutate(&cfg)
+		if _, err := NewModel(cfg); err == nil {
+			t.Errorf("%s: config accepted", c.name)
+		}
+	}
+}
+
+func TestSeasonalRamp(t *testing.T) {
+	m := mustModel(t, DefaultConfig())
+	// Compare daily means (diurnal cancels at matching hours).
+	early := m.MeanAt(start.Add(12*time.Hour), start, end)
+	late := m.MeanAt(end.Add(-12*time.Hour), start, end)
+	if late <= early+10 {
+		t.Errorf("seasonal ramp too flat: early %v, late %v", early, late)
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	m := mustModel(t, DefaultConfig())
+	day := start.AddDate(0, 0, 40)
+	peak := m.MeanAt(day.Add(15*time.Hour), start, end)
+	trough := m.MeanAt(day.Add(3*time.Hour), start, end)
+	// Full swing should be ~2*amplitude (both at the same day, so the
+	// seasonal drift is < 0.3 degC).
+	if got := peak - trough; got < 8 || got > 11 {
+		t.Errorf("diurnal swing = %v, want ~10", got)
+	}
+}
+
+func TestMeanAtClampsOutsideSpan(t *testing.T) {
+	m := mustModel(t, DefaultConfig())
+	before := m.MeanAt(start.Add(-24*time.Hour), start, end)
+	at := m.MeanAt(start, start, end)
+	if math.Abs(before-at) > 1e-9 {
+		t.Errorf("pre-span mean %v should clamp to start %v", before, at)
+	}
+}
+
+func TestSeriesDeterminism(t *testing.T) {
+	g, err := timeseries.NewGrid(start, start.AddDate(0, 0, 7), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t, DefaultConfig())
+	s1 := m.Series(g)
+	s2 := m.Series(g)
+	if s1.Len() != s2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", s1.Len(), s2.Len())
+	}
+	for i := 0; i < s1.Len(); i++ {
+		if s1.At(i) != s2.At(i) {
+			t.Fatalf("sample %d differs: %v vs %v", i, s1.At(i), s2.At(i))
+		}
+	}
+}
+
+func TestSeriesNoiseStationary(t *testing.T) {
+	g, err := timeseries.NewGrid(start, end, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t, DefaultConfig())
+	s := m.Series(g)
+	if s.Len() != g.N {
+		t.Fatalf("series length %d, want %d", s.Len(), g.N)
+	}
+	// Residual vs deterministic mean should have roughly the configured
+	// std dev.
+	resid := make([]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		smp := s.At(i)
+		resid[i] = smp.Value - m.MeanAt(smp.Time, g.Time(0), g.Time(g.N-1))
+	}
+	sd := stats.StdDev(resid)
+	if sd < 1.5 || sd > 4.5 {
+		t.Errorf("noise std dev = %v, want ~3", sd)
+	}
+}
+
+func TestSeriesPlausibleRange(t *testing.T) {
+	g, err := timeseries.NewGrid(start, end, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t, DefaultConfig())
+	s := m.Series(g)
+	for i := 0; i < s.Len(); i++ {
+		v := s.At(i).Value
+		if v < -25 || v > 45 {
+			t.Fatalf("implausible ambient temperature %v at %v", v, s.At(i).Time)
+		}
+	}
+}
+
+func TestZeroNoiseIsDeterministicMean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseStdDev = 0
+	m := mustModel(t, cfg)
+	g, err := timeseries.NewGrid(start, start.AddDate(0, 0, 2), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Series(g)
+	for i := 0; i < s.Len(); i++ {
+		smp := s.At(i)
+		want := m.MeanAt(smp.Time, g.Time(0), g.Time(g.N-1))
+		if math.Abs(smp.Value-want) > 1e-9 {
+			t.Fatalf("sample %d: %v != mean %v", i, smp.Value, want)
+		}
+	}
+}
