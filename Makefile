@@ -1,0 +1,32 @@
+# auditherm build/verify targets. `make check` is the tier-1 gate
+# (see ROADMAP.md): vet, build, race-test the concurrency-sensitive
+# packages, then run the full suite.
+
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+check: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# internal/obs is hammered from 16 goroutines in its tests and
+# internal/building is the per-cell hot path the obs counters ride on;
+# both get the race detector every time.
+race:
+	$(GO) test -race ./internal/obs ./internal/building
+
+test:
+	$(GO) test ./...
+
+# Refresh the observability/perf baseline recorded in BENCH_obs.json.
+bench:
+	$(GO) test -run '^$$' -bench 'KernelDatasetDay|KernelEigenSym25|KernelFitSecondOrder|Figure6' -benchtime 5x .
+	$(GO) test -run '^$$' -bench . ./internal/dataset ./internal/cluster ./internal/obs
+
+clean:
+	$(GO) clean ./...

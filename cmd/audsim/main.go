@@ -5,6 +5,7 @@
 // Usage:
 //
 //	audsim [-days N] [-seed S] [-o dataset.csv] [-truth truth.csv]
+//	       [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"auditherm/internal/dataset"
+	"auditherm/internal/obs"
 	"auditherm/internal/timeseries"
 )
 
@@ -22,15 +24,27 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for all stochastic components")
 	out := flag.String("o", "dataset.csv", "output CSV path (\"-\" for stdout)")
 	truthOut := flag.String("truth", "", "optional path for the noise-free ground-truth CSV")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
 	flag.Parse()
 
-	if err := run(*days, *seed, *out, *truthOut); err != nil {
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "audsim:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "metrics: %s/metrics\n", ms.URL())
+	}
+
+	if err := run(*days, *seed, *out, *truthOut, *manifestPath); err != nil {
 		fmt.Fprintln(os.Stderr, "audsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(days int, seed int64, out, truthOut string) error {
+func run(days int, seed int64, out, truthOut, manifestPath string) error {
 	cfg := dataset.DefaultConfig()
 	cfg.Days = days
 	cfg.Seed = seed
@@ -39,7 +53,15 @@ func run(days int, seed int64, out, truthOut string) error {
 	cfg.NumLongOutages = days * 7 / 98
 	cfg.NumShortOutages = days * 12 / 98
 
+	b := obs.NewManifest("audsim")
+	b.SetSeed(seed)
+	b.SetConfig(map[string]string{
+		"days":   fmt.Sprint(days),
+		"output": out,
+	})
+
 	t0 := time.Now()
+	b.StartStage("generate")
 	d, err := dataset.Generate(cfg)
 	if err != nil {
 		return err
@@ -48,6 +70,7 @@ func run(days int, seed int64, out, truthOut string) error {
 		days, d.Frame.Grid.N, len(d.Frame.Channels), 100*d.Frame.MissingFraction(),
 		time.Since(t0).Round(time.Millisecond))
 
+	b.StartStage("write")
 	if err := writeCSV(out, d.Frame); err != nil {
 		return err
 	}
@@ -56,11 +79,24 @@ func run(days int, seed int64, out, truthOut string) error {
 			return err
 		}
 	}
+	b.EndStage()
 	occ, err := d.UsableDays(dataset.Occupied, 0.1)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "usable occupied days: %d of %d\n", len(occ), days)
+	if manifestPath != "" {
+		b.SetMetric("grid_steps", float64(d.Frame.Grid.N))
+		b.SetMetric("channels", float64(len(d.Frame.Channels)))
+		b.SetMetric("missing_fraction", d.Frame.MissingFraction())
+		b.SetMetric("usable_occupied_days", float64(len(occ)))
+		b.StageCount("generate", "sim_steps", obs.Default.CounterValue("auditherm_dataset_sim_steps_total"))
+		b.StageCount("generate", "samples", obs.Default.CounterValue("auditherm_dataset_samples_total"))
+		if err := b.WriteFile(manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", manifestPath)
+	}
 	return nil
 }
 

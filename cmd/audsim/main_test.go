@@ -12,8 +12,11 @@ func TestRunWritesDatasetAndTruth(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "ds.csv")
 	truth := filepath.Join(dir, "truth.csv")
-	if err := run(7, 3, out, truth); err != nil {
+	if err := run(7, 3, out, truth, filepath.Join(dir, "manifest.json")); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Errorf("manifest not written: %v", err)
 	}
 	for _, path := range []string{out, truth} {
 		f, err := os.Open(path)
@@ -32,7 +35,7 @@ func TestRunWritesDatasetAndTruth(t *testing.T) {
 }
 
 func TestRunRejectsBadDays(t *testing.T) {
-	if err := run(0, 1, filepath.Join(t.TempDir(), "x.csv"), ""); err == nil {
+	if err := run(0, 1, filepath.Join(t.TempDir(), "x.csv"), "", ""); err == nil {
 		t.Error("zero days accepted")
 	}
 }
@@ -40,7 +43,7 @@ func TestRunRejectsBadDays(t *testing.T) {
 func TestRunShortTraceKeepsUsableDays(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "ds.csv")
-	if err := run(14, 5, out, ""); err != nil {
+	if err := run(14, 5, out, "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)

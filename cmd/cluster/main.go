@@ -5,6 +5,7 @@
 // Usage:
 //
 //	cluster -i dataset.csv [-metric correlation] [-k 0]
+//	        [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"auditherm/internal/cluster"
 	"auditherm/internal/dataset"
+	"auditherm/internal/obs"
 	"auditherm/internal/timeseries"
 )
 
@@ -23,15 +25,27 @@ func main() {
 	k := flag.Int("k", 0, "cluster count (0 = choose by largest log-eigengap)")
 	onHour := flag.Int("on", 6, "HVAC on hour")
 	offHour := flag.Int("off", 21, "HVAC off hour")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
 	flag.Parse()
 
-	if err := run(*in, *metricName, *k, *onHour, *offHour); err != nil {
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cluster:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	}
+
+	if err := run(*in, *metricName, *k, *onHour, *offHour, *manifestPath); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, metricName string, k, onHour, offHour int) error {
+func run(in, metricName string, k, onHour, offHour int, manifestPath string) error {
 	if in == "" {
 		return fmt.Errorf("missing -i dataset.csv")
 	}
@@ -45,6 +59,14 @@ func run(in, metricName string, k, onHour, offHour int) error {
 		return fmt.Errorf("unknown metric %q", metricName)
 	}
 
+	b := obs.NewManifest("cluster")
+	b.SetConfig(map[string]string{
+		"input":  in,
+		"metric": metricName,
+		"k":      fmt.Sprint(k),
+	})
+
+	b.StartStage("load")
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -79,6 +101,7 @@ func run(in, metricName string, k, onHour, offHour int) error {
 	fmt.Printf("clustering %d sensors over %d gap-free occupied steps (%v metric)\n",
 		x.Rows(), x.Cols(), metric)
 
+	b.StartStage("cluster")
 	w, err := cluster.SimilarityMatrix(x, metric)
 	if err != nil {
 		return err
@@ -87,6 +110,9 @@ func run(in, metricName string, k, onHour, offHour int) error {
 	if err != nil {
 		return err
 	}
+	b.EndStage()
+	b.SetMetric("chosen_k", float64(res.K))
+	b.SetMetric("sensors", float64(x.Rows()))
 	fmt.Printf("\nLaplacian eigenvalues (ascending):\n")
 	for i, v := range res.Eigenvalues {
 		fmt.Printf("  lambda_%-2d = %.6g\n", i+1, v)
@@ -102,6 +128,13 @@ func run(in, metricName string, k, onHour, offHour int) error {
 			fmt.Printf(" %s", sensors[i])
 		}
 		fmt.Println()
+	}
+	if manifestPath != "" {
+		b.StageCount("cluster", "kmeans_iterations", obs.Default.CounterValue("auditherm_cluster_kmeans_iterations_total"))
+		if err := b.WriteFile(manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		fmt.Printf("manifest written to %s\n", manifestPath)
 	}
 	return nil
 }

@@ -37,24 +37,24 @@ func writeTestCSV(t *testing.T) string {
 func TestRunBothMetrics(t *testing.T) {
 	csv := writeTestCSV(t)
 	for _, metric := range []string{"correlation", "euclidean"} {
-		if err := run(csv, metric, 0, 6, 21); err != nil {
+		if err := run(csv, metric, 0, 6, 21, ""); err != nil {
 			t.Errorf("%s: %v", metric, err)
 		}
 	}
-	if err := run(csv, "correlation", 3, 6, 21); err != nil {
+	if err := run(csv, "correlation", 3, 6, 21, ""); err != nil {
 		t.Errorf("fixed k: %v", err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
 	csv := writeTestCSV(t)
-	if err := run("", "correlation", 0, 6, 21); err == nil {
+	if err := run("", "correlation", 0, 6, 21, ""); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(csv, "cosine", 0, 6, 21); err == nil {
+	if err := run(csv, "cosine", 0, 6, 21, ""); err == nil {
 		t.Error("unknown metric accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.csv"), "correlation", 0, 6, 21); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.csv"), "correlation", 0, 6, 21, ""); err == nil {
 		t.Error("missing file accepted")
 	}
 }

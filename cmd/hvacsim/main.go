@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hvacsim [-controller deadband|fixed] [-days 7] [-setpoint 21]
+//	        [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"auditherm/internal/building"
 	"auditherm/internal/control"
+	"auditherm/internal/obs"
 	"auditherm/internal/occupancy"
 	"auditherm/internal/weather"
 )
@@ -25,15 +27,27 @@ func main() {
 	setpoint := flag.Float64("setpoint", 21, "comfort setpoint in degC")
 	flow := flag.Float64("flow", 0.3, "per-VAV flow for the fixed controller (kg/s)")
 	seed := flag.Int64("seed", 1, "seed for schedule and weather")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
 	flag.Parse()
 
-	if err := run(*name, *days, *setpoint, *flow, *seed); err != nil {
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hvacsim:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	}
+
+	if err := run(*name, *days, *setpoint, *flow, *seed, *manifestPath); err != nil {
 		fmt.Fprintln(os.Stderr, "hvacsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, days int, setpoint, flow float64, seed int64) error {
+func run(name string, days int, setpoint, flow float64, seed int64, manifestPath string) error {
 	var ctrl control.Controller
 	switch name {
 	case "deadband":
@@ -83,15 +97,37 @@ func run(name string, days int, setpoint, flow float64, seed int64) error {
 		Setpoint:         setpoint,
 		NumVAVs:          4,
 	}
+	b := obs.NewManifest("hvacsim")
+	b.SetSeed(seed)
+	b.SetConfig(map[string]string{
+		"controller": name,
+		"days":       fmt.Sprint(days),
+		"setpoint":   fmt.Sprint(setpoint),
+		"flow":       fmt.Sprint(flow),
+	})
 	fmt.Printf("running %s over %d days (setpoint %.1f degC)...\n", ctrl.Name(), days, setpoint)
+	b.StartStage("loop")
 	res, err := control.RunLoop(cfg, ctrl)
 	if err != nil {
 		return err
 	}
+	b.EndStage()
 	fmt.Printf("\ncontroller:           %s\n", res.Controller)
 	fmt.Printf("comfort RMS:          %.2f degC (occupied hours, all sensor positions)\n", res.ComfortRMS)
 	fmt.Printf("discomfort fraction:  %.1f%% (|PMV| deviation > 0.5 from setpoint)\n", 100*res.DiscomfortFrac)
 	fmt.Printf("cooling delivered:    %.1f kWh thermal\n", res.CoolingKWh)
 	fmt.Printf("mean occupied flow:   %.2f kg/s\n", res.MeanOccupiedFlow)
+	if manifestPath != "" {
+		b.SetMetric("comfort_rms_degc", res.ComfortRMS)
+		b.SetMetric("discomfort_frac", res.DiscomfortFrac)
+		b.SetMetric("cooling_kwh", res.CoolingKWh)
+		b.SetMetric("mean_occupied_flow_kgs", res.MeanOccupiedFlow)
+		b.StageCount("loop", "ticks", obs.Default.CounterValue("auditherm_control_ticks_total"))
+		b.StageCount("loop", "decisions", obs.Default.CounterValue("auditherm_control_decisions_total"))
+		if err := b.WriteFile(manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		fmt.Printf("manifest written to %s\n", manifestPath)
+	}
 	return nil
 }

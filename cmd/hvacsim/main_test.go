@@ -4,14 +4,14 @@ import "testing"
 
 func TestRunControllers(t *testing.T) {
 	for _, name := range []string{"deadband", "fixed"} {
-		if err := run(name, 1, 21, 0.3, 1); err != nil {
+		if err := run(name, 1, 21, 0.3, 1, ""); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("pid", 1, 21, 0.3, 1); err == nil {
+	if err := run("pid", 1, 21, 0.3, 1, ""); err == nil {
 		t.Error("unknown controller accepted")
 	}
 }

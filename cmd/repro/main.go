@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	repro [-only <id>] [-short]
+//	repro [-only <id>] [-short] [-metrics-addr host:port] [-manifest out.json]
 //
 // where id is one of: table1, table2, fig2 ... fig11, control, virtual. -short skips the
-// slowest sweeps (Figures 7, 8, 10, 11).
+// slowest sweeps (Figures 7, 8, 10, 11). -metrics-addr serves live
+// /metrics, /debug/vars, and /debug/pprof while the run is in flight;
+// -manifest writes a JSON run manifest (provenance, per-stage wall/CPU
+// time, span tree, headline metrics) when the run finishes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,26 +22,52 @@ import (
 	"time"
 
 	"auditherm/internal/experiments"
+	"auditherm/internal/obs"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (table1, table2, fig2..fig11)")
 	short := flag.Bool("short", false, "skip the slowest sweeps")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
 	flag.Parse()
 
-	if err := run(*only, *short); err != nil {
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	}
+
+	if err := run(*only, *short, *manifestPath); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, short bool) error {
+func run(only string, short bool, manifestPath string) error {
+	b := obs.NewManifest("repro")
+	b.SetSeed(1) // dataset.DefaultConfig seed
+	b.SetConfig(map[string]string{
+		"only":  only,
+		"short": fmt.Sprint(short),
+	})
+	ctx, root := obs.StartSpan(context.Background(), "repro")
+	b.SetRootSpan(root)
+
 	t0 := time.Now()
 	fmt.Println("generating 98-day auditorium dataset...")
+	b.StartStage("dataset")
+	_, dataSpan := obs.StartSpan(ctx, "dataset")
 	env, err := experiments.Shared()
+	dataSpan.End()
 	if err != nil {
 		return err
 	}
+	dataSpan.SetCount("usable_occupied_days", int64(len(env.OccTrainDays)+len(env.OccValidDays)))
 	fmt.Printf("dataset ready in %v: %d usable occupied days (%d train / %d valid)\n\n",
 		time.Since(t0).Round(time.Millisecond),
 		len(env.OccTrainDays)+len(env.OccValidDays), len(env.OccTrainDays), len(env.OccValidDays))
@@ -48,7 +78,17 @@ func run(only string, short bool) error {
 		run  func() (fmt.Stringer, error)
 	}
 	exps := []experiment{
-		{"table1", false, func() (fmt.Stringer, error) { return experiments.TableI(env) }},
+		{"table1", false, func() (fmt.Stringer, error) {
+			res, err := experiments.TableI(env)
+			if err != nil {
+				return nil, err
+			}
+			b.SetMetric("table1_occupied_rms90_order1", res.RMS90[0][0])
+			b.SetMetric("table1_occupied_rms90_order2", res.RMS90[0][1])
+			b.SetMetric("table1_unoccupied_rms90_order1", res.RMS90[1][0])
+			b.SetMetric("table1_unoccupied_rms90_order2", res.RMS90[1][1])
+			return res, nil
+		}},
 		{"fig2", false, func() (fmt.Stringer, error) { return experiments.Figure2(env) }},
 		{"fig3", false, func() (fmt.Stringer, error) { return experiments.Figure3(env) }},
 		{"fig4", false, func() (fmt.Stringer, error) { return experiments.Figure4(env) }},
@@ -58,6 +98,8 @@ func run(only string, short bool) error {
 			if err != nil {
 				return nil, err
 			}
+			b.SetMetric("fig6_euclidean_k", float64(eu.K))
+			b.SetMetric("fig6_correlation_k", float64(co.K))
 			return stringers{eu, co}, nil
 		}},
 		{"fig7", true, func() (fmt.Stringer, error) {
@@ -93,7 +135,11 @@ func run(only string, short bool) error {
 			continue
 		}
 		start := time.Now()
+		b.StartStage(ex.id)
+		_, sp := obs.StartSpan(ctx, ex.id)
 		res, err := ex.run()
+		sp.End()
+		b.EndStage()
 		if err != nil {
 			return fmt.Errorf("%s: %w", ex.id, err)
 		}
@@ -101,6 +147,15 @@ func run(only string, short bool) error {
 	}
 	if !known {
 		return fmt.Errorf("unknown experiment %q", only)
+	}
+	root.End()
+	if manifestPath != "" {
+		b.StageCount("dataset", "sim_steps", obs.Default.CounterValue("auditherm_dataset_sim_steps_total"))
+		b.StageCount("dataset", "samples", obs.Default.CounterValue("auditherm_dataset_samples_total"))
+		if err := b.WriteFile(manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		fmt.Printf("manifest written to %s\n", manifestPath)
 	}
 	return nil
 }

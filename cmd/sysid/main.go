@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sysid -i dataset.csv [-order 2] [-mode occupied] [-horizon 13h30m]
+//	      [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"auditherm/internal/dataset"
 	"auditherm/internal/mat"
+	"auditherm/internal/obs"
 	"auditherm/internal/stats"
 	"auditherm/internal/sysid"
 )
@@ -27,15 +29,27 @@ func main() {
 	savePath := flag.String("save", "", "write the identified model as JSON to this path")
 	onHour := flag.Int("on", 6, "HVAC on hour")
 	offHour := flag.Int("off", 21, "HVAC off hour")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
 	flag.Parse()
 
-	if err := run(*in, *order, *modeName, *horizon, *onHour, *offHour, *savePath); err != nil {
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sysid:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	}
+
+	if err := run(*in, *order, *modeName, *horizon, *onHour, *offHour, *savePath, *manifestPath); err != nil {
 		fmt.Fprintln(os.Stderr, "sysid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, orderN int, modeName string, horizon time.Duration, onHour, offHour int, savePath string) error {
+func run(in string, orderN int, modeName string, horizon time.Duration, onHour, offHour int, savePath, manifestPath string) error {
 	if in == "" {
 		return fmt.Errorf("missing -i dataset.csv")
 	}
@@ -58,6 +72,15 @@ func run(in string, orderN int, modeName string, horizon time.Duration, onHour, 
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
 
+	b := obs.NewManifest("sysid")
+	b.SetConfig(map[string]string{
+		"input":   in,
+		"order":   fmt.Sprint(orderN),
+		"mode":    modeName,
+		"horizon": horizon.String(),
+	})
+
+	b.StartStage("load")
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -83,6 +106,7 @@ func run(in string, orderN int, modeName string, horizon time.Duration, onHour, 
 	fmt.Printf("%v windows: %d usable (%d train / %d validation)\n", mode, len(usable), len(train), len(valid))
 
 	data := sysid.Data{Temps: temps, Inputs: inputs}
+	b.StartStage("fit")
 	model, err := sysid.Fit(data, train, order, sysid.DefaultOptions())
 	if err != nil {
 		return err
@@ -91,11 +115,15 @@ func run(in string, orderN int, modeName string, horizon time.Duration, onHour, 
 	if err != nil {
 		return err
 	}
+	b.StartStage("evaluate")
 	hSteps := int(horizon / frame.Grid.Step)
 	ev, err := sysid.Evaluate(model, data, valid, hSteps)
 	if err != nil {
 		return err
 	}
+	b.EndStage()
+	b.SetMetric("spectral_radius", rho)
+	b.SetMetric("evaluated_windows", float64(ev.Windows))
 	fmt.Printf("\n%v model: spectral radius %.4f, %d windows evaluated, horizon %v (%d steps)\n",
 		order, rho, ev.Windows, horizon, hSteps)
 	fmt.Printf("%-8s %s\n", "sensor", "RMS (degC)")
@@ -107,6 +135,7 @@ func run(in string, orderN int, modeName string, horizon time.Duration, onHour, 
 		if err != nil {
 			return err
 		}
+		b.SetMetric(fmt.Sprintf("rms_p%.0f_degc", q), v)
 		fmt.Printf("%2.0fth percentile RMS: %.3f degC\n", q, v)
 	}
 	med, err := stats.Percentile(ev.PerSensorRMS, 50)
@@ -127,6 +156,14 @@ func run(in string, orderN int, modeName string, horizon time.Duration, onHour, 
 			return err
 		}
 		fmt.Printf("model written to %s\n", savePath)
+	}
+	if manifestPath != "" {
+		b.StageCount("fit", "fits", obs.Default.CounterValue("auditherm_sysid_fits_total"))
+		b.StageCount("evaluate", "evaluations", obs.Default.CounterValue("auditherm_sysid_evaluations_total"))
+		if err := b.WriteFile(manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		fmt.Printf("manifest written to %s\n", manifestPath)
 	}
 	return nil
 }

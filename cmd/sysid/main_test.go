@@ -39,8 +39,12 @@ func writeTestCSV(t *testing.T) string {
 func TestRunIdentifiesAndSaves(t *testing.T) {
 	csv := writeTestCSV(t)
 	model := filepath.Join(filepath.Dir(csv), "model.json")
-	if err := run(csv, 2, "occupied", 5*time.Hour, 6, 21, model); err != nil {
+	manifest := filepath.Join(filepath.Dir(csv), "manifest.json")
+	if err := run(csv, 2, "occupied", 5*time.Hour, 6, 21, model, manifest); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(manifest); err != nil {
+		t.Errorf("manifest not written: %v", err)
 	}
 	f, err := os.Open(model)
 	if err != nil {
@@ -61,16 +65,16 @@ func TestRunIdentifiesAndSaves(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	csv := writeTestCSV(t)
-	if err := run("", 2, "occupied", time.Hour, 6, 21, ""); err == nil {
+	if err := run("", 2, "occupied", time.Hour, 6, 21, "", ""); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(csv, 3, "occupied", time.Hour, 6, 21, ""); err == nil {
+	if err := run(csv, 3, "occupied", time.Hour, 6, 21, "", ""); err == nil {
 		t.Error("order 3 accepted")
 	}
-	if err := run(csv, 1, "weekend", time.Hour, 6, 21, ""); err == nil {
+	if err := run(csv, 1, "weekend", time.Hour, 6, 21, "", ""); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 1, "occupied", time.Hour, 6, 21, ""); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 1, "occupied", time.Hour, 6, 21, "", ""); err == nil {
 		t.Error("missing file accepted")
 	}
 }

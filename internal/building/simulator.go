@@ -1,0 +1,579 @@
+package building
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"auditherm/internal/hvac"
+)
+
+// Physical constants.
+const (
+	airDensity = 1.204 // kg/m^3 at ~20 degC
+	airCp      = hvac.AirCp
+)
+
+// Config parameterizes the zonal simulator. The defaults reproduce the
+// paper's room; every field is physical, so alternative buildings are a
+// matter of retuning rather than re-coding.
+type Config struct {
+	// NX, NY is the zone grid resolution (front-to-back x side-to-side).
+	NX, NY int
+	// Height is the ceiling height in meters.
+	Height float64
+	// ThermalMassFactor scales the air mass to an effective thermal
+	// mass including furniture, finishes and the bounding slab layer.
+	ThermalMassFactor float64
+	// MixingUA is the inter-cell mixing conductance between adjacent
+	// cells in W/K (bulk air exchange driven by diffusers and buoyancy).
+	MixingUA float64
+	// MixDriftPerDay is the fractional daily growth of MixingUA: the
+	// seasonal non-stationarity that makes very long training horizons
+	// over-fit (paper Fig. 5). 0.005 is +0.5%/day compounded.
+	MixDriftPerDay float64
+	// EnvelopeUA is the total conductance to ambient air in W/K,
+	// distributed over the perimeter cells (the room is a basement, so
+	// this is small: light wells, doors and the above-grade wall strip).
+	EnvelopeUA float64
+	// GroundUA is the total conductance to the surrounding earth in
+	// W/K, distributed over all cells.
+	GroundUA float64
+	// GroundTemp is the slab/earth temperature in degC at simulation
+	// start.
+	GroundTemp float64
+	// GroundTempDriftPerDay is the seasonal slab warming in degC/day
+	// (the basement slab follows the season with a long lag). Together
+	// with MixDriftPerDay this is the non-stationarity that makes very
+	// long training horizons over-fit (paper Fig. 5).
+	GroundTempDriftPerDay float64
+	// OccupantHeat is the sensible heat per person in W.
+	OccupantHeat float64
+	// SeatStartX is the front-to-back coordinate where seating begins;
+	// occupant heat lands uniformly on cells behind it.
+	SeatStartX float64
+	// SeatMixBoost multiplies the mixing conductance between two
+	// seating cells: occupant plumes and the ceiling diffusers churn
+	// the seating block into a near-uniform zone, while the front
+	// (stage/outlet) cells keep their own microclimate. Values < 1 are
+	// treated as 1.
+	SeatMixBoost float64
+	// StageMixFactor multiplies the mixing conductance on edges that
+	// cross the stage/seating boundary. The supply jets wash the stage
+	// and short-circuit toward the front returns, so the stage
+	// microclimate couples only weakly into the seating block; this is
+	// what makes the front sensor column track the supply plenum while
+	// the seats track the occupant load (the correlation structure
+	// behind the paper's Fig. 6 clusters). Values outside (0, 1] are
+	// treated as 1 (no attenuation).
+	StageMixFactor float64
+	// LightingPower is the total lighting heat in W when lights are on.
+	LightingPower float64
+	// TurbulencePower is the amplitude (W, total over the room) of the
+	// deterministic thermal oscillation modeling diffuser turbulence
+	// and buoyancy plumes: a real room never sits perfectly still,
+	// which is what keeps report-on-change sensors chatting. Zero
+	// disables it.
+	TurbulencePower float64
+	// TurbulencePeriod is the oscillation period; zero selects 37
+	// minutes (incommensurate with the sampling grids).
+	TurbulencePeriod time.Duration
+	// NumOutlets is the number of supply outlets on the front wall (the
+	// paper's room has 2, fed by 4 VAVs).
+	NumOutlets int
+	// PlenumMass is the air-equivalent mass of each outlet's supply
+	// mixing node in kg. Supply air reaches the room only through this
+	// first-order lag, which is what makes the measured response
+	// greater than first order.
+	PlenumMass float64
+	// InitialTemp is the uniform starting temperature in degC.
+	InitialTemp float64
+	// OccupantMoisture is the latent moisture release per person in
+	// kg/s.
+	OccupantMoisture float64
+	// SupplyHumidity is the supply-air humidity ratio in kg/kg.
+	SupplyHumidity float64
+	// OccupantCO2 is the CO2 generation per person in m^3/s.
+	OccupantCO2 float64
+	// AmbientCO2 is the outdoor CO2 concentration in ppm.
+	AmbientCO2 float64
+	// MaxStep caps the internal integration substep; Step subdivides
+	// larger dt values so physics fidelity does not depend on the
+	// caller's stepping.
+	MaxStep time.Duration
+}
+
+// DefaultConfig returns the tuned auditorium: ~90 seats, 20x15x3.5 m,
+// 2 front outlets fed by 4 VAVs.
+func DefaultConfig() Config {
+	return Config{
+		NX:                    10,
+		NY:                    6,
+		Height:                3.5,
+		ThermalMassFactor:     3.5,
+		MixingUA:              1200,
+		MixDriftPerDay:        0.005,
+		EnvelopeUA:            50,
+		GroundUA:              90,
+		GroundTemp:            16,
+		GroundTempDriftPerDay: 0.012,
+		OccupantHeat:          90,
+		SeatStartX:            4,
+		SeatMixBoost:          3,
+		StageMixFactor:        0.2,
+		TurbulencePower:       5000,
+		TurbulencePeriod:      37 * time.Minute,
+		LightingPower:         1200,
+		NumOutlets:            2,
+		PlenumMass:            135,
+		InitialTemp:           20,
+		OccupantMoisture:      1.5e-5,
+		SupplyHumidity:        0.008,
+		OccupantCO2:           5.2e-6,
+		AmbientCO2:            420,
+		MaxStep:               10 * time.Second,
+	}
+}
+
+// Inputs drives one simulation step.
+type Inputs struct {
+	// HVAC is the plant operating point (per-VAV flows, supply temp).
+	HVAC hvac.State
+	// Occupants is the current ground-truth occupant count.
+	Occupants int
+	// LightsOn reports whether the room lighting is on.
+	LightsOn bool
+	// Ambient is the outdoor air temperature in degC.
+	Ambient float64
+}
+
+// Simulator is the zonal auditorium model. It is advanced by Step and
+// probed with TemperatureAt / RelativeHumidityAt / CO2.
+type Simulator struct {
+	cfg Config
+
+	nx, ny  int
+	temps   []float64 // cell temperatures, row-major [ix*ny+iy]
+	scratch []float64
+	outlet  []float64 // per-outlet plenum temperatures
+
+	// Static per-cell parameters.
+	cellCap   float64   // J/K per cell
+	envUA     []float64 // W/K to ambient per cell
+	groundUA  float64   // W/K to ground per cell
+	seatCells []int     // indices receiving occupant heat
+	seatMask  []bool    // per-cell seating membership
+	outletOf  []int     // supply outlet feeding each front cell (-1: none)
+
+	airMass float64 // kg, actual (unscaled) room air mass
+	volume  float64 // m^3
+
+	humidity float64 // kg/kg, well mixed
+	co2      float64 // ppm, well mixed
+
+	elapsed float64 // seconds simulated so far (drives seasonal drift)
+}
+
+// NewSimulator validates cfg and returns a simulator at the initial
+// uniform state.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if cfg.NX < 2 || cfg.NY < 2 {
+		return nil, fmt.Errorf("building: grid %dx%d must be at least 2x2", cfg.NX, cfg.NY)
+	}
+	if cfg.Height <= 0 {
+		return nil, fmt.Errorf("building: height %v must be positive", cfg.Height)
+	}
+	if cfg.ThermalMassFactor < 1 {
+		return nil, fmt.Errorf("building: thermal mass factor %v must be >= 1", cfg.ThermalMassFactor)
+	}
+	if cfg.MixingUA <= 0 {
+		return nil, fmt.Errorf("building: mixing conductance %v must be positive", cfg.MixingUA)
+	}
+	if cfg.MixDriftPerDay < -0.5 || cfg.MixDriftPerDay > 0.5 {
+		return nil, fmt.Errorf("building: mixing drift %v/day outside [-0.5, 0.5]", cfg.MixDriftPerDay)
+	}
+	if cfg.EnvelopeUA < 0 || cfg.GroundUA < 0 {
+		return nil, fmt.Errorf("building: conductances must be non-negative (envelope %v, ground %v)",
+			cfg.EnvelopeUA, cfg.GroundUA)
+	}
+	if cfg.NumOutlets <= 0 {
+		return nil, fmt.Errorf("building: outlet count %d must be positive", cfg.NumOutlets)
+	}
+	if cfg.NumOutlets > cfg.NY {
+		return nil, fmt.Errorf("building: %d outlets exceed %d front cells", cfg.NumOutlets, cfg.NY)
+	}
+	if cfg.PlenumMass <= 0 {
+		return nil, fmt.Errorf("building: plenum mass %v must be positive", cfg.PlenumMass)
+	}
+	if cfg.MaxStep <= 0 {
+		cfg.MaxStep = 10 * time.Second
+	}
+
+	n := cfg.NX * cfg.NY
+	s := &Simulator{
+		cfg:     cfg,
+		nx:      cfg.NX,
+		ny:      cfg.NY,
+		temps:   make([]float64, n),
+		scratch: make([]float64, n),
+		outlet:  make([]float64, cfg.NumOutlets),
+		envUA:   make([]float64, n),
+	}
+	s.volume = RoomDepth * RoomWidth * cfg.Height
+	s.airMass = s.volume * airDensity
+	cellMass := s.airMass / float64(n) * cfg.ThermalMassFactor
+	s.cellCap = cellMass * airCp
+	s.groundUA = cfg.GroundUA / float64(n)
+
+	// Perimeter cells share the envelope conductance equally.
+	perimeter := 0
+	for ix := 0; ix < s.nx; ix++ {
+		for iy := 0; iy < s.ny; iy++ {
+			if ix == 0 || ix == s.nx-1 || iy == 0 || iy == s.ny-1 {
+				perimeter++
+			}
+		}
+	}
+	for ix := 0; ix < s.nx; ix++ {
+		for iy := 0; iy < s.ny; iy++ {
+			if ix == 0 || ix == s.nx-1 || iy == 0 || iy == s.ny-1 {
+				s.envUA[ix*s.ny+iy] = cfg.EnvelopeUA / float64(perimeter)
+			}
+		}
+	}
+
+	// Seating cells: centers behind SeatStartX.
+	dx := RoomDepth / float64(s.nx)
+	s.seatMask = make([]bool, n)
+	for ix := 0; ix < s.nx; ix++ {
+		cx := (float64(ix) + 0.5) * dx
+		if cx < cfg.SeatStartX {
+			continue
+		}
+		for iy := 0; iy < s.ny; iy++ {
+			s.seatCells = append(s.seatCells, ix*s.ny+iy)
+			s.seatMask[ix*s.ny+iy] = true
+		}
+	}
+	if len(s.seatCells) == 0 {
+		return nil, fmt.Errorf("building: seating start %v leaves no seat cells", cfg.SeatStartX)
+	}
+
+	// Front cells (ix == 0) are fed by the outlet covering their Y band.
+	s.outletOf = make([]int, s.ny)
+	for iy := 0; iy < s.ny; iy++ {
+		s.outletOf[iy] = iy * cfg.NumOutlets / s.ny
+	}
+
+	for i := range s.temps {
+		s.temps[i] = cfg.InitialTemp
+	}
+	for o := range s.outlet {
+		s.outlet[o] = cfg.InitialTemp
+	}
+	s.humidity = cfg.SupplyHumidity
+	s.co2 = cfg.AmbientCO2
+	return s, nil
+}
+
+// NumCells returns the zone cell count.
+func (s *Simulator) NumCells() int { return s.nx * s.ny }
+
+// Step advances the room by dt under the given inputs. dt is split
+// into substeps no longer than Config.MaxStep, so results have the
+// same fidelity whatever the caller's stepping.
+func (s *Simulator) Step(dt time.Duration, in Inputs) error {
+	if dt <= 0 {
+		return fmt.Errorf("building: step dt %v must be positive", dt)
+	}
+	if in.Occupants < 0 {
+		return fmt.Errorf("building: negative occupant count %d", in.Occupants)
+	}
+	for _, f := range in.HVAC.Flows {
+		if f < 0 || math.IsNaN(f) {
+			return fmt.Errorf("building: invalid VAV flow %v", f)
+		}
+	}
+	if math.IsNaN(in.Ambient) {
+		return fmt.Errorf("building: ambient temperature is NaN")
+	}
+	total := dt.Seconds()
+	steps := int(math.Ceil(total / s.cfg.MaxStep.Seconds()))
+	if steps < 1 {
+		steps = 1
+	}
+	sub := total / float64(steps)
+	for k := 0; k < steps; k++ {
+		s.substep(sub, in)
+	}
+	stepsTotal.Inc()
+	cellsStepped.Add(int64(steps * len(s.temps)))
+	return nil
+}
+
+// outletFlows sums the per-VAV flows into per-outlet totals (kg/s).
+func (s *Simulator) outletFlows(flows []float64) []float64 {
+	out := make([]float64, s.cfg.NumOutlets)
+	if len(flows) == 0 {
+		return out
+	}
+	for i, f := range flows {
+		o := i * s.cfg.NumOutlets / len(flows)
+		if o >= s.cfg.NumOutlets {
+			o = s.cfg.NumOutlets - 1
+		}
+		out[o] += f
+	}
+	return out
+}
+
+// substep advances one internal step of sub seconds.
+func (s *Simulator) substep(sub float64, in Inputs) {
+	cfg := &s.cfg
+	mix := cfg.MixingUA * s.driftFactor()
+	boost := cfg.SeatMixBoost
+	if boost < 1 {
+		boost = 1
+	}
+	stage := cfg.StageMixFactor
+	if stage <= 0 || stage > 1 {
+		stage = 1
+	}
+	groundTemp := cfg.GroundTemp + cfg.GroundTempDriftPerDay*s.elapsed/86400
+
+	flows := s.outletFlows(in.HVAC.Flows)
+	var totalFlow float64
+	for _, f := range flows {
+		totalFlow += f
+	}
+
+	// Supply plenums: first-order mixing of supply air into each
+	// outlet's delivery stream.
+	for o := range s.outlet {
+		alpha := 1 - math.Exp(-sub*flows[o]/cfg.PlenumMass)
+		s.outlet[o] += alpha * (in.HVAC.SupplyTemp - s.outlet[o])
+	}
+
+	// Per-cell loads.
+	occHeat := float64(in.Occupants) * cfg.OccupantHeat / float64(len(s.seatCells))
+	var lightHeat float64
+	if in.LightsOn {
+		lightHeat = cfg.LightingPower / float64(len(s.temps))
+	}
+	// Diffuser/buoyancy turbulence: a slow counter-phase oscillation
+	// between the supply-jet half and the return-plume half of the room.
+	// It is driven by the supply jets, so its strength follows the total
+	// supply flow: near-quiet overnight when the plant is off (a small
+	// buoyancy floor keeps the air from sitting perfectly still), full
+	// strength under daytime ventilation.
+	var wobAmp, wobPhase float64
+	if cfg.TurbulencePower > 0 {
+		period := cfg.TurbulencePeriod
+		if period <= 0 {
+			period = 37 * time.Minute
+		}
+		frac := 0.12 + 0.88*totalFlow/1.2
+		if frac > 1 {
+			frac = 1
+		}
+		wobAmp = frac * cfg.TurbulencePower / float64(len(s.temps))
+		wobPhase = 2 * math.Pi * s.elapsed / period.Seconds()
+	}
+
+	// Front-cell supply conductance: each outlet's flow splits over the
+	// front cells in its band.
+	frontPerOutlet := make([]int, cfg.NumOutlets)
+	for iy := 0; iy < s.ny; iy++ {
+		frontPerOutlet[s.outletOf[iy]]++
+	}
+
+	old := s.temps
+	next := s.scratch
+	nx, ny := s.nx, s.ny
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			i := ix*ny + iy
+			ti := old[i]
+			seatI := s.seatMask[i]
+			// Conductance-weighted equilibrium of the frozen neighborhood:
+			// unconditionally stable exponential relaxation toward it. An
+			// edge between two seating cells carries the boosted mixing
+			// conductance (occupant-churned zone); an edge crossing the
+			// stage/seating boundary carries the attenuated one (the
+			// supply jets short-circuit to the stage returns, so the
+			// stage microclimate couples only weakly into the seats).
+			var g, gt float64
+			edge := func(j int) {
+				m := mix
+				if seatI == s.seatMask[j] {
+					if seatI {
+						m *= boost
+					}
+				} else {
+					m *= stage
+				}
+				g += m
+				gt += m * old[j]
+			}
+			if ix > 0 {
+				edge(i - ny)
+			}
+			if ix < nx-1 {
+				edge(i + ny)
+			}
+			if iy > 0 {
+				edge(i - 1)
+			}
+			if iy < ny-1 {
+				edge(i + 1)
+			}
+			if e := s.envUA[i]; e > 0 {
+				g += e
+				gt += e * in.Ambient
+			}
+			g += s.groundUA
+			gt += s.groundUA * groundTemp
+
+			load := lightHeat
+			if seatI {
+				load += occHeat
+			}
+			if wobAmp > 0 {
+				// Two-zone standing oscillation: the front (supply-jet)
+				// half and the back (return-plume) half breathe in
+				// counter-phase, like a slow room-scale circulation cell.
+				phase := wobPhase
+				if 5*ix >= 2*nx {
+					phase += math.Pi
+				}
+				load += wobAmp * math.Sin(phase)
+			}
+			if ix == 0 {
+				o := s.outletOf[iy]
+				if flows[o] > 0 {
+					gs := flows[o] * airCp / float64(frontPerOutlet[o])
+					g += gs
+					gt += gs * s.outlet[o]
+				}
+			}
+
+			next[i] = relax(ti, g, gt, load, sub, s.cellCap)
+		}
+	}
+	s.temps, s.scratch = next, old
+
+	// Well-mixed moisture balance on the true air mass.
+	if totalFlow > 0 || in.Occupants > 0 {
+		dw := (float64(in.Occupants)*cfg.OccupantMoisture +
+			totalFlow*(cfg.SupplyHumidity-s.humidity)) / s.airMass
+		s.humidity += sub * dw
+		if s.humidity < 0 {
+			s.humidity = 0
+		}
+	}
+
+	// Well-mixed CO2 balance (supply air is outdoor-equivalent for CO2).
+	q := totalFlow / airDensity // m^3/s
+	dc := (float64(in.Occupants)*cfg.OccupantCO2*1e6 + q*(cfg.AmbientCO2-s.co2)) / s.volume
+	s.co2 += sub * dc
+	if s.co2 < cfg.AmbientCO2 {
+		s.co2 = cfg.AmbientCO2
+	}
+
+	s.elapsed += sub
+}
+
+// relax moves ti toward its frozen-neighborhood equilibrium
+// (gt + load)/g with the exact exponential for time constant cap/g.
+// It is unconditionally stable for any substep.
+func relax(ti, g, gt, load, sub, cap float64) float64 {
+	if g <= 0 {
+		return ti + sub*load/cap
+	}
+	teq := (gt + load) / g
+	return teq + (ti-teq)*math.Exp(-sub*g/cap)
+}
+
+// driftFactor is the seasonal mixing drift multiplier after the
+// elapsed simulated time.
+func (s *Simulator) driftFactor() float64 {
+	if s.cfg.MixDriftPerDay == 0 {
+		return 1
+	}
+	days := s.elapsed / 86400
+	return math.Exp(days * math.Log1p(s.cfg.MixDriftPerDay))
+}
+
+// cellIndexFrac maps a point to fractional cell-grid coordinates,
+// clamped to the cell-center lattice.
+func (s *Simulator) cellIndexFrac(p Point) (fx, fy float64) {
+	dx := RoomDepth / float64(s.nx)
+	dy := RoomWidth / float64(s.ny)
+	fx = p.X/dx - 0.5
+	fy = p.Y/dy - 0.5
+	fx = math.Min(math.Max(fx, 0), float64(s.nx-1))
+	fy = math.Min(math.Max(fy, 0), float64(s.ny-1))
+	return fx, fy
+}
+
+// TemperatureAt returns the air temperature at a floor-plan point by
+// bilinear interpolation between cell centers (clamped at the walls).
+func (s *Simulator) TemperatureAt(p Point) float64 {
+	fx, fy := s.cellIndexFrac(p)
+	ix0 := int(fx)
+	iy0 := int(fy)
+	ix1 := ix0 + 1
+	iy1 := iy0 + 1
+	if ix1 > s.nx-1 {
+		ix1 = s.nx - 1
+	}
+	if iy1 > s.ny-1 {
+		iy1 = s.ny - 1
+	}
+	tx := fx - float64(ix0)
+	ty := fy - float64(iy0)
+	t00 := s.temps[ix0*s.ny+iy0]
+	t01 := s.temps[ix0*s.ny+iy1]
+	t10 := s.temps[ix1*s.ny+iy0]
+	t11 := s.temps[ix1*s.ny+iy1]
+	return (1-tx)*((1-ty)*t00+ty*t01) + tx*((1-ty)*t10+ty*t11)
+}
+
+// MeanTemp returns the average cell temperature (the return-air
+// temperature seen by the plant).
+func (s *Simulator) MeanTemp() float64 {
+	var sum float64
+	for _, t := range s.temps {
+		sum += t
+	}
+	return sum / float64(len(s.temps))
+}
+
+// RelativeHumidityAt returns the relative humidity (percent) at a
+// point: the well-mixed humidity ratio evaluated against the local
+// temperature's saturation ratio.
+func (s *Simulator) RelativeHumidityAt(p Point) float64 {
+	t := s.TemperatureAt(p)
+	rh := 100 * s.humidity / saturationRatio(t)
+	if rh < 0 {
+		return 0
+	}
+	if rh > 100 {
+		return 100
+	}
+	return rh
+}
+
+// CO2 returns the well-mixed CO2 concentration in ppm.
+func (s *Simulator) CO2() float64 { return s.co2 }
+
+// saturationRatio is the saturation humidity ratio (kg/kg) at t degC
+// and standard pressure, via the Magnus formula.
+func saturationRatio(t float64) float64 {
+	psat := 610.94 * math.Exp(17.625*t/(t+243.04))
+	const pAtm = 101325.0
+	if psat >= pAtm {
+		psat = pAtm - 1
+	}
+	return 0.622 * psat / (pAtm - psat)
+}

@@ -71,6 +71,7 @@ func SimilarityMatrixOpts(x *mat.Dense, metric Metric, opts SimilarityOptions) (
 	if p < 2 || n < 2 {
 		return nil, fmt.Errorf("cluster: similarity of %dx%d matrix: %w", p, n, ErrDegenerate)
 	}
+	similarityBuildsTotal.Inc()
 	w := mat.NewDense(p, p)
 	switch metric {
 	case Euclidean:
@@ -136,6 +137,7 @@ func NormalizedLaplacian(w *mat.Dense) (*mat.Dense, error) {
 	if p != q {
 		return nil, fmt.Errorf("cluster: normalized Laplacian of %dx%d matrix: %w", p, q, mat.ErrShape)
 	}
+	laplaciansTotal.Inc()
 	dinv := make([]float64, p)
 	for i := 0; i < p; i++ {
 		var d float64
@@ -165,6 +167,7 @@ func Laplacian(w *mat.Dense) (*mat.Dense, error) {
 	if p != q {
 		return nil, fmt.Errorf("cluster: Laplacian of %dx%d matrix: %w", p, q, mat.ErrShape)
 	}
+	laplaciansTotal.Inc()
 	l := mat.NewDense(p, p)
 	for i := 0; i < p; i++ {
 		var d float64
@@ -298,6 +301,8 @@ func SpectralCluster(w *mat.Dense, k int, opts SpectralOptions) (*SpectralResult
 	if err != nil {
 		return nil, err
 	}
+	spectralRunsTotal.Inc()
+	lastClusterCount.Set(float64(k))
 	return &SpectralResult{Assign: assign, K: k, Eigenvalues: eig.Values}, nil
 }
 
@@ -348,6 +353,7 @@ func KMeans(points *mat.Dense, k int, opts KMeansOptions) ([]int, error) {
 		centers := kppInit(points, k, rng)
 		assign := make([]int, n)
 		for it := 0; it < iters; it++ {
+			kmeansIterationsTotal.Inc()
 			changed := false
 			for i := 0; i < n; i++ {
 				bi, bd := 0, math.Inf(1)

@@ -1,0 +1,19 @@
+package cluster
+
+import "auditherm/internal/obs"
+
+// Spectral-pipeline instrumentation on the obs Default registry: one
+// atomic op per pipeline stage call plus one per k-means iteration, so
+// overhead is invisible next to the O(n^2)-O(n^3) matrix work.
+var (
+	similarityBuildsTotal = obs.NewCounter("auditherm_cluster_similarity_builds_total",
+		"Similarity matrices assembled.")
+	laplaciansTotal = obs.NewCounter("auditherm_cluster_laplacians_total",
+		"Graph Laplacians built (normalized and unnormalized).")
+	spectralRunsTotal = obs.NewCounter("auditherm_cluster_spectral_runs_total",
+		"Spectral clustering runs completed.")
+	kmeansIterationsTotal = obs.NewCounter("auditherm_cluster_kmeans_iterations_total",
+		"Lloyd iterations executed across all k-means restarts.")
+	lastClusterCount = obs.NewGauge("auditherm_cluster_last_k",
+		"Cluster count of the most recent spectral clustering run.")
+)

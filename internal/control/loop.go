@@ -126,6 +126,7 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("control: %s decision at %v: %w", ctrl.Name(), t, err)
 			}
+			loopDecisionsTotal.Inc()
 			nextDecision = nextDecision.Add(cfg.DecisionStep)
 		}
 
@@ -169,6 +170,14 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 				}
 			}
 		}
+
+		// Live progress gauges: scraping /metrics mid-study shows the
+		// running comfort and energy totals of the loop in flight.
+		loopTicksTotal.Inc()
+		if comfortN > 0 {
+			loopComfortRMS.Set(math.Sqrt(comfortSq / float64(comfortN)))
+		}
+		loopCoolingKWh.Set(coolingJ / 3.6e6)
 	}
 	if comfortN > 0 {
 		res.ComfortRMS = math.Sqrt(comfortSq / float64(comfortN))

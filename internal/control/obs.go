@@ -1,0 +1,18 @@
+package control
+
+import "auditherm/internal/obs"
+
+// Closed-loop instrumentation on the obs Default registry. The tick
+// counter and the running comfort/energy gauges are updated every
+// physics step of RunLoop (one atomic op each), so a live /metrics
+// scrape shows the loop's progress while a study is running.
+var (
+	loopTicksTotal = obs.NewCounter("auditherm_control_ticks_total",
+		"Closed-loop physics steps executed across all RunLoop calls.")
+	loopDecisionsTotal = obs.NewCounter("auditherm_control_decisions_total",
+		"Controller decisions taken across all RunLoop calls.")
+	loopComfortRMS = obs.NewGauge("auditherm_control_comfort_rms_degc",
+		"Running occupied-hours comfort RMS (degC) of the current loop.")
+	loopCoolingKWh = obs.NewGauge("auditherm_control_cooling_kwh",
+		"Running thermal cooling energy (kWh) of the current loop.")
+)

@@ -160,6 +160,7 @@ func (d *Dataset) InputNames() []string {
 
 // Generate runs the co-simulation and assembles the dataset.
 func Generate(cfg Config) (*Dataset, error) {
+	defer func(t0 time.Time) { generateSeconds.Observe(time.Since(t0).Seconds()) }(time.Now())
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("dataset: Days %d must be positive", cfg.Days)
 	}
@@ -422,6 +423,9 @@ func Generate(cfg Config) (*Dataset, error) {
 		return nil, err
 	}
 	d.Frame = frame
+	generationsTotal.Inc()
+	simStepsTotal.Add(int64(nSteps))
+	recordFrameStats(frame.Values)
 	return d, nil
 }
 

@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"math"
+
+	"auditherm/internal/obs"
+)
+
+// Dataset-generation instrumentation on the obs Default registry. The
+// co-simulation counters are bumped once per Generate call (with the
+// per-step totals added in bulk), and the duration histogram feeds the
+// /metrics view of how long trace synthesis takes.
+var (
+	generationsTotal = obs.NewCounter("auditherm_dataset_generations_total",
+		"Dataset co-simulations completed.")
+	simStepsTotal = obs.NewCounter("auditherm_dataset_sim_steps_total",
+		"Co-simulation plant/building steps executed across all generations.")
+	samplesTotal = obs.NewCounter("auditherm_dataset_samples_total",
+		"Identification-frame samples produced (channels x grid steps).")
+	missingSamplesTotal = obs.NewCounter("auditherm_dataset_missing_samples_total",
+		"Identification-frame samples left missing (NaN) after resampling.")
+	generateSeconds = obs.NewHistogram("auditherm_dataset_generate_seconds",
+		"Wall time of dataset.Generate calls.", obs.DurationBuckets)
+)
+
+// recordFrameStats counts produced and missing samples over the frame
+// channel rows.
+func recordFrameStats(values [][]float64) {
+	var total, missing int64
+	for _, vals := range values {
+		total += int64(len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				missing++
+			}
+		}
+	}
+	samplesTotal.Add(total)
+	missingSamplesTotal.Add(missing)
+}

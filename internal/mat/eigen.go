@@ -39,11 +39,13 @@ func NewEigenSym(a *Dense) (*Eigen, error) {
 		}
 	}
 	v := Identity(n)
+	eigensolvesTotal.Inc()
 	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
 		off := offDiagNorm(w)
 		if off <= 1e-14*(1+w.MaxAbs()) {
 			break
 		}
+		jacobiSweepsTotal.Inc()
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
 				apq := w.At(p, q)

@@ -52,7 +52,30 @@ func NewQR(a *Dense) (*QR, error) {
 		}
 		rdia[k] = -nrm
 	}
+	qrFactorizationsTotal.Inc()
 	return &QR{qr: qr, rdia: rdia}, nil
+}
+
+// ConditionEstimate returns a cheap estimate of the 2-norm condition
+// number of the factored matrix: the ratio of the largest to smallest
+// absolute diagonal entry of R. It is exact for diagonal matrices and a
+// lower bound in general; +Inf when R has a zero diagonal entry.
+func (f *QR) ConditionEstimate() float64 {
+	var mn, mx float64
+	mn = math.Inf(1)
+	for _, d := range f.rdia {
+		a := math.Abs(d)
+		if a < mn {
+			mn = a
+		}
+		if a > mx {
+			mx = a
+		}
+	}
+	if mn == 0 {
+		return math.Inf(1)
+	}
+	return mx / mn
 }
 
 // IsFullRank reports whether R has no zero (to working precision)

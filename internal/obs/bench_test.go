@@ -1,0 +1,43 @@
+package obs
+
+import "testing"
+
+// The registry's hot-path cost budget: counters/gauges/histograms are
+// single atomic ops so per-cell simulator loops can carry them. These
+// benchmarks document the per-op cost recorded in BENCH_obs.json.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().NewCounter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().NewGauge("bench_gauge", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().NewHistogram("bench_hist", "", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.NewCounter(string(rune('a'+i))+"_total", "").Add(int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), deterministically sorted by
+// metric name so output is golden-testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, c := range s.Counters {
+		if c.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", c.Name, escapeHelp(c.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s counter\n", c.Name)
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		if g.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", g.Name, escapeHelp(g.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", g.Name)
+		fmt.Fprintf(&b, "%s %s\n", g.Name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		if h.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", h.Name, escapeHelp(h.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", h.Name)
+		for i, ub := range h.UpperBounds {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", h.Name, promFloat(ub), h.Cumulative[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the registry snapshot as a flat expvar-style JSON
+// object mapping metric name to value (histograms expand to
+// name_count/name_sum plus quantile estimates).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	m := map[string]any{}
+	for _, c := range s.Counters {
+		m[c.Name] = c.Value
+	}
+	for _, g := range s.Gauges {
+		v := g.Value
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			m[g.Name] = fmt.Sprintf("%g", v)
+			continue
+		}
+		m[g.Name] = v
+	}
+	for _, h := range s.Histograms {
+		m[h.Name+"_count"] = h.Count
+		m[h.Name+"_sum"] = h.Sum
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return formatFloat(v)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", "\\\\")
+	return strings.ReplaceAll(h, "\n", "\\n")
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition-format output for
+// a small registry so the wire format cannot drift silently.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("auditherm_steps_total", "Physics steps executed.")
+	c.Add(42)
+	g := r.NewGauge("auditherm_comfort_rms_degc", "Running comfort RMS.")
+	g.Set(0.75)
+	h := r.NewHistogram("auditherm_generate_seconds", "Generate wall time.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP auditherm_steps_total Physics steps executed.
+# TYPE auditherm_steps_total counter
+auditherm_steps_total 42
+# HELP auditherm_comfort_rms_degc Running comfort RMS.
+# TYPE auditherm_comfort_rms_degc gauge
+auditherm_comfort_rms_degc 0.75
+# HELP auditherm_generate_seconds Generate wall time.
+# TYPE auditherm_generate_seconds histogram
+auditherm_generate_seconds_bucket{le="0.5"} 1
+auditherm_generate_seconds_bucket{le="1"} 2
+auditherm_generate_seconds_bucket{le="+Inf"} 3
+auditherm_generate_seconds_sum 3
+auditherm_generate_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusSpecialFloats(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("g_inf", "").Set(math.Inf(1))
+	r.NewGauge("g_nan", "").Set(math.NaN())
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "g_inf +Inf") {
+		t.Errorf("missing +Inf rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "g_nan NaN") {
+		t.Errorf("missing NaN rendering:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "").Add(7)
+	r.NewGauge("g", "").Set(1.5)
+	r.NewGauge("g_nan", "").Set(math.NaN())
+	h := r.NewHistogram("h", "", []float64{1})
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if m["c_total"].(float64) != 7 {
+		t.Errorf("c_total = %v", m["c_total"])
+	}
+	if m["g"].(float64) != 1.5 {
+		t.Errorf("g = %v", m["g"])
+	}
+	if m["g_nan"].(string) != "NaN" {
+		t.Errorf("g_nan = %v (NaN must be stringified for JSON)", m["g_nan"])
+	}
+	if m["h_count"].(float64) != 1 || m["h_sum"].(float64) != 0.5 {
+		t.Errorf("histogram expansion = %v / %v", m["h_count"], m["h_sum"])
+	}
+}

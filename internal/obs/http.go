@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsServer serves the registry over HTTP: /metrics (Prometheus
+// text), /debug/vars (expvar-style JSON), and /debug/pprof/*.
+type MetricsServer struct {
+	Addr string // actual listen address (resolves ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeMetrics starts a background HTTP server for the registry on
+// addr ("host:port"; ":0" picks a free port). Returns the running
+// server; callers should defer Close.
+func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ms := &MetricsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+	}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close shuts the server down.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// URL returns the server's base URL.
+func (m *MetricsServer) URL() string { return "http://" + m.Addr }

@@ -1,0 +1,348 @@
+// Package obs is auditherm's zero-dependency observability layer:
+// a concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus-text and expvar/JSON export, span-based
+// tracing with a flame-style text report, and per-run JSON manifests.
+//
+// Hot-path discipline: Counter/Gauge/Histogram operations are single
+// atomic ops (no locks, no allocation), so instrumenting a per-cell
+// simulator loop costs a few nanoseconds per event. Registration and
+// snapshotting take a registry lock but happen off the hot path.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (must be >= 0 for Prometheus semantics; negative
+// deltas are ignored).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	name string
+	help string
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta via a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v is larger than the current value.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket[i] counts observations <= UpperBounds[i], with an
+// implicit +Inf bucket).
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	count  atomic.Int64
+	sumµ   atomic.Int64 // sum in micro-units to stay lock-free
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (<= ~20) and this avoids a
+	// branch-heavy binary search for tiny slices.
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sumµ.Add(int64(v * 1e6))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values (micro-unit precision).
+func (h *Histogram) Sum() float64 { return float64(h.sumµ.Load()) / 1e6 }
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) by
+// linear interpolation within the containing bucket. Returns NaN when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	lower := 0.0
+	if len(h.bounds) > 0 {
+		// Assume observations start at 0 for interpolation purposes;
+		// negative observations land in the first bucket anyway.
+		lower = 0
+	}
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank {
+			if c == 0 {
+				return b
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + frac*(b-lower)
+		}
+		cum += c
+		lower = b
+	}
+	// Fell into +Inf bucket: best estimate is the largest finite bound.
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return math.NaN()
+}
+
+// snapshotBuckets returns cumulative bucket counts aligned with
+// UpperBounds plus the +Inf total.
+func (h *Histogram) snapshotBuckets() (cum []int64, total int64) {
+	cum = make([]int64, len(h.bounds))
+	running := int64(0)
+	for i := range h.bounds {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, h.count.Load()
+}
+
+// Registry holds a named set of metrics. The zero value is not usable;
+// use NewRegistry. All metric operations after registration are
+// lock-free; registration and snapshotting serialize on a mutex.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry used by the package-level
+// constructors; CLI binaries export it over HTTP and into manifests.
+var Default = NewRegistry()
+
+// NewCounter registers (or returns the existing) counter with name.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// NewGauge registers (or returns the existing) gauge with name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// NewHistogram registers (or returns the existing) histogram with the
+// given sorted upper bucket bounds. Bounds are defensively copied and
+// sorted.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{name: name, help: help, bounds: bs, counts: make([]atomic.Int64, len(bs))}
+	r.histograms[name] = h
+	return h
+}
+
+// Package-level constructors on the Default registry.
+
+// NewCounter registers a counter on the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewGauge registers a gauge on the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewHistogram registers a histogram on the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}
+
+// DurationBuckets is a general-purpose latency bucket layout in
+// seconds, from 100µs to ~100s.
+var DurationBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// CounterSnapshot is a point-in-time counter value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is a point-in-time gauge value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is a point-in-time histogram state with cumulative
+// bucket counts aligned to UpperBounds.
+type HistogramSnapshot struct {
+	Name        string    `json:"name"`
+	Help        string    `json:"help,omitempty"`
+	UpperBounds []float64 `json:"upper_bounds"`
+	Cumulative  []int64   `json:"cumulative"`
+	Count       int64     `json:"count"`
+	Sum         float64   `json:"sum"`
+}
+
+// Snapshot is an isolated copy of a registry's state: mutating the
+// registry after Snapshot returns does not change the snapshot.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Help: c.help, Value: c.Value()})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Help: g.help, Value: g.Value()})
+	}
+	for _, h := range r.histograms {
+		cum, total := h.snapshotBuckets()
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name:        h.name,
+			Help:        h.help,
+			UpperBounds: append([]float64(nil), h.bounds...),
+			Cumulative:  cum,
+			Count:       total,
+			Sum:         h.Sum(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Lookup returns the counter value for name, or 0 if unknown. Handy in
+// manifests and tests.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// GaugeValue returns the gauge value for name, or NaN if unknown.
+func (r *Registry) GaugeValue(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g.Value()
+	}
+	return math.NaN()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

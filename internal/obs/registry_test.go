@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ticks_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // negative deltas ignored (Prometheus counter semantics)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if c.Name() != "ticks_total" {
+		t.Errorf("name = %q", c.Name())
+	}
+	// Re-registering the same name returns the same counter.
+	if r.NewCounter("ticks_total", "other") != c {
+		t.Error("duplicate registration created a second counter")
+	}
+	if r.CounterValue("ticks_total") != 5 {
+		t.Errorf("CounterValue = %d", r.CounterValue("ticks_total"))
+	}
+	if r.CounterValue("unknown") != 0 {
+		t.Error("unknown counter lookup not zero")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("temp_degc", "help")
+	g.Set(21.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 20 {
+		t.Errorf("gauge = %v, want 20", got)
+	}
+	g.SetMax(19)
+	if g.Value() != 20 {
+		t.Error("SetMax lowered the gauge")
+	}
+	g.SetMax(25)
+	if g.Value() != 25 {
+		t.Error("SetMax did not raise the gauge")
+	}
+	if !math.IsNaN(r.GaugeValue("unknown")) {
+		t.Error("unknown gauge lookup not NaN")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 16.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	cum, total := h.snapshotBuckets()
+	if total != 5 {
+		t.Errorf("total = %d", total)
+	}
+	wantCum := []int64{1, 3, 4} // le=1: 1, le=2: 3, le=4: 4 (+Inf holds the 5th)
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	// Median falls in the (1,2] bucket: rank 2.5 of 5, bucket holds
+	// observations 2..3, interpolated position (2.5-1)/2 of the way in.
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 = %v, want within (1,2]", q)
+	}
+	// Quantile beyond the finite buckets clamps to the largest bound.
+	if q := h.Quantile(1); q != 4 {
+		t.Errorf("p100 = %v, want 4 (largest finite bound)", q)
+	}
+	if !math.IsNaN(NewRegistry().NewHistogram("e", "", []float64{1}).Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{4, 1, 2})
+	h.Observe(1.5)
+	cum, _ := h.snapshotBuckets()
+	if cum[0] != 0 || cum[1] != 1 || cum[2] != 1 {
+		t.Errorf("cumulative over sorted bounds = %v", cum)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", []float64{1})
+	c.Inc()
+	g.Set(1)
+	h.Observe(0.5)
+
+	snap := r.Snapshot()
+
+	// Mutate after the snapshot; the snapshot must not change.
+	c.Add(100)
+	g.Set(99)
+	h.Observe(0.5)
+	snap.Histograms[0].UpperBounds[0] = 123 // must not alias registry state
+
+	if snap.Counters[0].Value != 1 {
+		t.Errorf("snapshot counter = %d, want 1", snap.Counters[0].Value)
+	}
+	if snap.Gauges[0].Value != 1 {
+		t.Errorf("snapshot gauge = %v, want 1", snap.Gauges[0].Value)
+	}
+	if snap.Histograms[0].Count != 1 {
+		t.Errorf("snapshot histogram count = %d, want 1", snap.Histograms[0].Count)
+	}
+	if got := r.Snapshot().Histograms[0].UpperBounds[0]; got != 1 {
+		t.Errorf("registry bounds mutated through snapshot: %v", got)
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("z_total", "")
+	r.NewCounter("a_total", "")
+	s := r.Snapshot()
+	if s.Counters[0].Name != "a_total" || s.Counters[1].Name != "z_total" {
+		t.Errorf("counters not sorted: %+v", s.Counters)
+	}
+}
+
+// TestConcurrentHammer drives 16 goroutines through every metric type
+// while snapshots are taken, exercising the lock-free hot path under
+// the race detector.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.NewCounter("hammer_total", "")
+			g := r.NewGauge("hammer_gauge", "")
+			h := r.NewHistogram("hammer_hist", "", DurationBuckets)
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(float64(j))
+				h.Observe(float64(j) / perG)
+				if j%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.CounterValue("hammer_total"); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	s := r.Snapshot()
+	for _, h := range s.Histograms {
+		if h.Count != goroutines*perG {
+			t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+		}
+	}
+}

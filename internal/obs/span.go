@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of work. Spans form a tree via
+// StartSpan(ctx, ...): a span started under a context carrying a
+// parent span becomes that parent's child. Spans carry their own
+// counters (SetCount) so stage-level tallies travel with the timing
+// tree into reports and manifests.
+type Span struct {
+	Name string
+
+	mu       sync.Mutex
+	start    time.Time
+	end      time.Time
+	counts   map[string]int64
+	children []*Span
+	parent   *Span
+}
+
+type spanKey struct{}
+
+// StartSpan begins a span named name. If ctx already carries a span,
+// the new span is registered as its child. The returned context
+// carries the new span; pass it to nested stages.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{Name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp.parent = parent
+		parent.mu.Lock()
+		parent.children = append(parent.children, sp)
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// End marks the span finished. Safe to call more than once; the first
+// call wins.
+func (s *Span) End() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+}
+
+// Duration returns the span's wall time; for an unfinished span, the
+// time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SetCount attaches (or overwrites) a named counter on the span.
+func (s *Span) SetCount(key string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counts == nil {
+		s.counts = map[string]int64{}
+	}
+	s.counts[key] = v
+}
+
+// AddCount increments a named counter on the span.
+func (s *Span) AddCount(key string, delta int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counts == nil {
+		s.counts = map[string]int64{}
+	}
+	s.counts[key] += delta
+}
+
+// Counts returns a copy of the span's counters.
+func (s *Span) Counts() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Children returns a copy of the span's direct children.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// SpanRecord is the serializable form of a span tree, used by
+// RunManifest.
+type SpanRecord struct {
+	Name       string           `json:"name"`
+	DurationMS float64          `json:"duration_ms"`
+	Counts     map[string]int64 `json:"counts,omitempty"`
+	Children   []SpanRecord     `json:"children,omitempty"`
+}
+
+// Record converts the span tree to its serializable form.
+func (s *Span) Record() SpanRecord {
+	rec := SpanRecord{
+		Name:       s.Name,
+		DurationMS: float64(s.Duration()) / float64(time.Millisecond),
+	}
+	counts := s.Counts()
+	if len(counts) > 0 {
+		rec.Counts = counts
+	}
+	for _, c := range s.Children() {
+		rec.Children = append(rec.Children, c.Record())
+	}
+	return rec
+}
+
+// WriteReport renders the span tree as a flame-style indented text
+// report: per-span wall time, percent of root, a proportional bar, and
+// attached counters.
+func (s *Span) WriteReport(w io.Writer) {
+	root := s.Duration()
+	if root <= 0 {
+		root = time.Nanosecond
+	}
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		d := sp.Duration()
+		pct := 100 * float64(d) / float64(root)
+		bar := strings.Repeat("#", int(pct/5+0.5))
+		if bar == "" && d > 0 {
+			bar = "."
+		}
+		fmt.Fprintf(w, "%-36s %10s %5.1f%% %-20s%s\n",
+			strings.Repeat("  ", depth)+sp.Name, fmtDur(d), pct, bar, fmtCounts(sp.Counts()))
+		for _, c := range sp.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtCounts(m map[string]int64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return "  [" + strings.Join(parts, " ") + "]"
+}

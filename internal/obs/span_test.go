@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndRecord(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "run")
+	cctx, child := StartSpan(ctx, "fit")
+	child.SetCount("windows", 3)
+	child.AddCount("windows", 2)
+	_, grand := StartSpan(cctx, "solve")
+	grand.End()
+	child.End()
+	root.End()
+
+	if SpanFromContext(cctx) != child {
+		t.Error("SpanFromContext did not return the carried span")
+	}
+	if got := root.Children(); len(got) != 1 || got[0] != child {
+		t.Fatalf("root children = %v", got)
+	}
+	if got := child.Children(); len(got) != 1 || got[0] != grand {
+		t.Fatalf("child children = %v", got)
+	}
+	if got := child.Counts()["windows"]; got != 5 {
+		t.Errorf("counts = %d, want 5", got)
+	}
+
+	rec := root.Record()
+	if rec.Name != "run" || len(rec.Children) != 1 || rec.Children[0].Name != "fit" {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.Children[0].Counts["windows"] != 5 {
+		t.Errorf("record counts = %v", rec.Children[0].Counts)
+	}
+	if len(rec.Children[0].Children) != 1 || rec.Children[0].Children[0].Name != "solve" {
+		t.Errorf("grandchild record = %+v", rec.Children[0])
+	}
+	if rec.DurationMS < 0 {
+		t.Errorf("negative duration %v", rec.DurationMS)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	_, sp := StartSpan(context.Background(), "s")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if sp.Duration() != d {
+		t.Error("second End changed the duration")
+	}
+	if d < time.Millisecond {
+		t.Errorf("duration %v below sleep time", d)
+	}
+}
+
+func TestSpanWithoutParentIsRoot(t *testing.T) {
+	_, sp := StartSpan(context.Background(), "lone")
+	if sp.parent != nil {
+		t.Error("span from bare context has a parent")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "run")
+	_, child := StartSpan(ctx, "stage")
+	child.SetCount("items", 7)
+	child.End()
+	root.End()
+
+	var b strings.Builder
+	root.WriteReport(&b)
+	out := b.String()
+	if !strings.Contains(out, "run") || !strings.Contains(out, "stage") {
+		t.Errorf("report missing span names:\n%s", out)
+	}
+	if !strings.Contains(out, "items=7") {
+		t.Errorf("report missing counters:\n%s", out)
+	}
+	// Child line is indented under the root.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  ") {
+		t.Errorf("report lines not indented:\n%s", out)
+	}
+}

@@ -1,0 +1,12 @@
+package selection
+
+import "auditherm/internal/obs"
+
+// Sensor-selection instrumentation on the obs Default registry: one
+// atomic increment per selection or scoring call.
+var (
+	selectionsTotal = obs.NewCounter("auditherm_selection_selections_total",
+		"Sensor selections performed (all strategies).")
+	scoringsTotal = obs.NewCounter("auditherm_selection_scorings_total",
+		"Cluster-mean error scorings performed.")
+)

@@ -28,6 +28,7 @@ var ErrEmptyCluster = errors.New("selection: empty cluster")
 // x is the sensor-by-step trace matrix; members lists each cluster's
 // row indices. The result has one sensor per cluster.
 func StratifiedNearMean(x *mat.Dense, members [][]int) ([]int, error) {
+	selectionsTotal.Inc()
 	out := make([]int, len(members))
 	for c, ms := range members {
 		if len(ms) == 0 {
@@ -75,6 +76,7 @@ func StratifiedRandom(members [][]int, nPer int, seed int64) ([][]int, error) {
 	if nPer < 1 {
 		return nil, fmt.Errorf("selection: SRS with %d sensors per cluster", nPer)
 	}
+	selectionsTotal.Inc()
 	rng := rand.New(rand.NewSource(seed))
 	out := make([][]int, len(members))
 	for c, ms := range members {
@@ -102,6 +104,7 @@ func SimpleRandom(p, k int, seed int64) ([]int, error) {
 	if k < 1 || k > p {
 		return nil, fmt.Errorf("selection: RS picking %d of %d sensors", k, p)
 	}
+	selectionsTotal.Inc()
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(p)
 	out := make([]int, k)
@@ -236,6 +239,7 @@ func ClusterMeanErrors(x *mat.Dense, members, selected [][]int) ([]float64, erro
 	if len(members) != len(selected) {
 		return nil, fmt.Errorf("selection: %d clusters but %d selections", len(members), len(selected))
 	}
+	scoringsTotal.Inc()
 	var out []float64
 	for c := range members {
 		if len(members[c]) == 0 {

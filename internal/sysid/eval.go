@@ -59,6 +59,7 @@ func Evaluate(m *Model, d Data, windows []timeseries.Segment, horizon int) (*Eva
 	if err != nil {
 		return nil, err
 	}
+	evaluationsTotal.Inc()
 	res := &EvalResult{
 		PerSensorRMS: make([]float64, p),
 		Residuals:    make([][]float64, p),

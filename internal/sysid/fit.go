@@ -174,6 +174,7 @@ func solveRidge(x, y *mat.Dense, ridge float64) (*mat.Dense, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sysid: factoring design matrix: %w", err)
 	}
+	designCondition.Set(qr.ConditionEstimate())
 	theta, err := qr.SolveMatrix(rhs)
 	if err != nil {
 		return nil, fmt.Errorf("sysid: solving normal equations: %w", err)
@@ -216,6 +217,9 @@ func Fit(d Data, windows []timeseries.Segment, order Order, opts Options) (*Mode
 		return nil, fmt.Errorf("sysid: %d equations for %d unknowns per sensor: %w",
 			nEq, nf, ErrInsufficientData)
 	}
+	fitsTotal.Inc()
+	fitWindowsTotal.Add(int64(len(windows)))
+	fitEquationsTotal.Add(int64(nEq))
 
 	// Full joint solve for [A | A2 | B].
 	x := mat.NewDense(nEq, nf)

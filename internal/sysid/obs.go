@@ -1,0 +1,20 @@
+package sysid
+
+import "auditherm/internal/obs"
+
+// Identification instrumentation on the obs Default registry. The
+// counters are bumped once per Fit/Evaluate call; the condition gauge
+// records the most recent design-matrix conditioning so a drifting or
+// rank-deficient regression shows up on /metrics immediately.
+var (
+	fitsTotal = obs.NewCounter("auditherm_sysid_fits_total",
+		"Model identifications performed (Fit and FitDecoupled).")
+	fitEquationsTotal = obs.NewCounter("auditherm_sysid_fit_equations_total",
+		"Least-squares equations assembled across all fits.")
+	fitWindowsTotal = obs.NewCounter("auditherm_sysid_fit_windows_total",
+		"Training windows (contiguous segments) consumed across all fits.")
+	evaluationsTotal = obs.NewCounter("auditherm_sysid_evaluations_total",
+		"Free-run model evaluations performed.")
+	designCondition = obs.NewGauge("auditherm_sysid_design_condition",
+		"Condition-number estimate of the most recent fit's design matrix.")
+)
