@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race bench bench-par clean
 
 check: vet build race test
 
@@ -15,10 +15,13 @@ build:
 	$(GO) build ./...
 
 # internal/obs is hammered from 16 goroutines in its tests and
-# internal/building is the per-cell hot path the obs counters ride on;
-# both get the race detector every time.
+# internal/building is the per-cell hot path the obs counters ride on.
+# internal/par is the worker pool everything parallel runs on (its
+# tests cover cancellation and panic capture under load), and
+# internal/sysid / internal/cluster fan their hot loops out over it;
+# all five get the race detector every time.
 race:
-	$(GO) test -race ./internal/obs ./internal/building
+	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster
 
 test:
 	$(GO) test ./...
@@ -27,6 +30,13 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench 'KernelDatasetDay|KernelEigenSym25|KernelFitSecondOrder|Figure6' -benchtime 5x .
 	$(GO) test -run '^$$' -bench . ./internal/dataset ./internal/cluster ./internal/obs
+
+# Regenerate the serial-vs-parallel benchmark matrix in BENCH_par.json
+# (workers 1/4/8 over the fit/cluster/sim hot paths, with a
+# byte-identical-output gate). Run on a multi-core machine for
+# meaningful speedups; see the "note" field of the output.
+bench-par:
+	$(GO) test ./internal/benchpar -run RecordParBench -record-par-bench
 
 clean:
 	$(GO) clean ./...

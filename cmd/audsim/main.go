@@ -5,7 +5,7 @@
 // Usage:
 //
 //	audsim [-days N] [-seed S] [-o dataset.csv] [-truth truth.csv]
-//	       [-metrics-addr host:port] [-manifest out.json]
+//	       [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"auditherm/internal/dataset"
 	"auditherm/internal/obs"
+	"auditherm/internal/par"
 	"auditherm/internal/timeseries"
 )
 
@@ -26,7 +27,9 @@ func main() {
 	truthOut := flag.String("truth", "", "optional path for the noise-free ground-truth CSV")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
+	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
 	flag.Parse()
+	par.SetDefaultWorkers(*parallelism)
 
 	if *metricsAddr != "" {
 		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)

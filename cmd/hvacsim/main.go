@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hvacsim [-controller deadband|fixed] [-days 7] [-setpoint 21]
-//	        [-metrics-addr host:port] [-manifest out.json]
+//	        [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"auditherm/internal/control"
 	"auditherm/internal/obs"
 	"auditherm/internal/occupancy"
+	"auditherm/internal/par"
 	"auditherm/internal/weather"
 )
 
@@ -29,7 +30,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for schedule and weather")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
+	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
 	flag.Parse()
+	par.SetDefaultWorkers(*parallelism)
 
 	if *metricsAddr != "" {
 		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	repro [-only <id>] [-short] [-metrics-addr host:port] [-manifest out.json]
+//	repro [-only <id>] [-short] [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
 //
 // where id is one of: table1, table2, fig2 ... fig11, control, virtual. -short skips the
 // slowest sweeps (Figures 7, 8, 10, 11). -metrics-addr serves live
@@ -23,6 +23,7 @@ import (
 
 	"auditherm/internal/experiments"
 	"auditherm/internal/obs"
+	"auditherm/internal/par"
 )
 
 func main() {
@@ -30,7 +31,9 @@ func main() {
 	short := flag.Bool("short", false, "skip the slowest sweeps")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
+	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
 	flag.Parse()
+	par.SetDefaultWorkers(*parallelism)
 
 	if *metricsAddr != "" {
 		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)

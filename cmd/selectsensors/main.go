@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	selectsensors -i dataset.csv [-k 2] [-seeds 10]
+//	selectsensors -i dataset.csv [-k 2] [-seeds 10] [-parallelism N]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"auditherm/internal/cluster"
 	"auditherm/internal/dataset"
+	"auditherm/internal/par"
 	"auditherm/internal/selection"
 	"auditherm/internal/stats"
 	"auditherm/internal/timeseries"
@@ -26,7 +27,9 @@ func main() {
 	seeds := flag.Int("seeds", 10, "random draws to average for SRS/RS")
 	onHour := flag.Int("on", 6, "HVAC on hour")
 	offHour := flag.Int("off", 21, "HVAC off hour")
+	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
 	flag.Parse()
+	par.SetDefaultWorkers(*parallelism)
 
 	if err := run(*in, *k, *seeds, *onHour, *offHour); err != nil {
 		fmt.Fprintln(os.Stderr, "selectsensors:", err)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sysid -i dataset.csv [-order 2] [-mode occupied] [-horizon 13h30m]
-//	      [-metrics-addr host:port] [-manifest out.json]
+//	      [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"auditherm/internal/dataset"
 	"auditherm/internal/mat"
 	"auditherm/internal/obs"
+	"auditherm/internal/par"
 	"auditherm/internal/stats"
 	"auditherm/internal/sysid"
 )
@@ -31,7 +32,9 @@ func main() {
 	offHour := flag.Int("off", 21, "HVAC off hour")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
+	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
 	flag.Parse()
+	par.SetDefaultWorkers(*parallelism)
 
 	if *metricsAddr != "" {
 		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)

@@ -14,8 +14,18 @@ import (
 	"sort"
 
 	"auditherm/internal/mat"
+	"auditherm/internal/par"
 	"auditherm/internal/stats"
 )
+
+// pairParFlops gates the row-parallel pairwise kernels (distance and
+// correlation matrices): a build only fans out over the par worker pool
+// once its ~p*p*n/2 element operations clear this floor, so the small
+// fixtures that dominate unit tests stay on the zero-overhead serial
+// path. The parallel decomposition computes each matrix element exactly
+// once with the serial arithmetic, so results are bit-for-bit identical
+// at any worker count.
+const pairParFlops = 1 << 15
 
 // Metric selects how sensor similarity is computed from trace rows.
 type Metric int
@@ -75,16 +85,17 @@ func SimilarityMatrixOpts(x *mat.Dense, metric Metric, opts SimilarityOptions) (
 	w := mat.NewDense(p, p)
 	switch metric {
 	case Euclidean:
-		// Pairwise distances, then Gaussian kernel with the median
-		// nonzero distance as bandwidth (self-tuning, scale free).
-		dists := mat.NewDense(p, p)
-		var all []float64
+		// Pairwise distances (row-parallel via DistanceMatrix), then a
+		// Gaussian kernel with the median nonzero distance as bandwidth
+		// (self-tuning, scale free). The bandwidth sample is collected
+		// serially in (i, j) order after the parallel fill so the median
+		// input — and with it every kernel weight — is independent of
+		// scheduling.
+		dists := DistanceMatrix(x)
+		all := make([]float64, 0, p*(p-1)/2)
 		for i := 0; i < p; i++ {
 			for j := i + 1; j < p; j++ {
-				d := mat.Dist2(x.RawRow(i), x.RawRow(j))
-				dists.Set(i, j, d)
-				dists.Set(j, i, d)
-				all = append(all, d)
+				all = append(all, dists.At(i, j))
 			}
 		}
 		sigma, err := stats.Percentile(all, 50)
@@ -108,11 +119,16 @@ func SimilarityMatrixOpts(x *mat.Dense, metric Metric, opts SimilarityOptions) (
 		if gamma <= 0 {
 			gamma = 1
 		}
-		for i := 0; i < p; i++ {
+		// Row-parallel: task i fills the strict upper-triangle entries of
+		// row i (and their mirrors) — disjoint elements, unchanged
+		// per-pair arithmetic. Errors are collected per row so the
+		// reported failure is the lexicographically smallest (i, j) pair
+		// regardless of scheduling.
+		corrRow := func(i int) error {
 			for j := i + 1; j < p; j++ {
 				r, err := stats.Pearson(x.RawRow(i), x.RawRow(j))
 				if err != nil {
-					return nil, fmt.Errorf("cluster: correlation of rows %d,%d: %w", i, j, err)
+					return fmt.Errorf("cluster: correlation of rows %d,%d: %w", i, j, err)
 				}
 				if r < 0 {
 					r = 0 // anti-correlated sensors share no edge
@@ -120,6 +136,27 @@ func SimilarityMatrixOpts(x *mat.Dense, metric Metric, opts SimilarityOptions) (
 				r = math.Pow(r, gamma)
 				w.Set(i, j, r)
 				w.Set(j, i, r)
+			}
+			return nil
+		}
+		if p*p*n/2 >= pairParFlops {
+			errs := make([]error, p)
+			if err := par.ForEach(nil, 0, p, func(i int) error {
+				errs[i] = corrRow(i)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for i := 0; i < p; i++ {
+				if err := corrRow(i); err != nil {
+					return nil, err
+				}
 			}
 		}
 	default:
@@ -527,15 +564,30 @@ func SingleLinkage(dist *mat.Dense, k int) ([]int, error) {
 
 // DistanceMatrix returns pairwise Euclidean distances between the rows
 // of x.
+//
+// Large inputs (~p*p*n/2 >= pairParFlops element operations) are filled
+// row-parallel over the par worker pool: task i computes the pairs
+// (i, j) for j > i and writes d[i][j] and its mirror d[j][i] — every
+// matrix element is written by exactly one task with the serial
+// arithmetic, so the result is bit-for-bit identical at any worker
+// count. The triangular row costs are unbalanced, which the pool's
+// dynamic task claiming absorbs.
 func DistanceMatrix(x *mat.Dense) *mat.Dense {
-	p, _ := x.Dims()
+	p, n := x.Dims()
 	d := mat.NewDense(p, p)
-	for i := 0; i < p; i++ {
-		for j := i + 1; j < p; j++ {
-			v := mat.Dist2(x.RawRow(i), x.RawRow(j))
-			d.Set(i, j, v)
-			d.Set(j, i, v)
+	distRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < p; j++ {
+				v := mat.Dist2(x.RawRow(i), x.RawRow(j))
+				d.Set(i, j, v)
+				d.Set(j, i, v)
+			}
 		}
+	}
+	if p*p*n/2 >= pairParFlops {
+		par.For(0, p, 1, distRows)
+	} else {
+		distRows(0, p)
 	}
 	return d
 }

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/par"
+)
+
+// withWorkers runs fn under a temporary process-wide default worker
+// count.
+func withWorkers(w int, fn func()) {
+	prev := par.SetDefaultWorkers(w)
+	defer par.SetDefaultWorkers(prev)
+	fn()
+}
+
+// bitEqual compares two matrices element for element with zero
+// tolerance: the parallel pairwise kernels must reproduce the serial
+// result exactly, not approximately.
+func bitEqual(t *testing.T, name string, got, want *mat.Dense) {
+	t.Helper()
+	gr, gc := got.Dims()
+	wr, wc := want.Dims()
+	if gr != wr || gc != wc {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, gr, gc, wr, wc)
+	}
+	for i := 0; i < gr; i++ {
+		g, w := got.RawRow(i), want.RawRow(i)
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("%s: (%d,%d) = %x, serial %x", name, i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+// TestDistanceMatrixParallelDeterminism: the row-parallel fill must be
+// bit-for-bit equal to serial at workers in {1, 3, 8} (ISSUE
+// determinism suite). benchTraces (24x600) clears the pairParFlops
+// threshold: 24*24*600/2 = 172800.
+func TestDistanceMatrixParallelDeterminism(t *testing.T) {
+	x := benchTraces()
+	var ref *mat.Dense
+	withWorkers(1, func() { ref = DistanceMatrix(x) })
+	for _, w := range []int{1, 3, 8} {
+		withWorkers(w, func() { bitEqual(t, "DistanceMatrix", DistanceMatrix(x), ref) })
+	}
+}
+
+// TestSimilarityMatrixParallelDeterminism covers both metrics: the
+// Euclidean path (parallel distances + serial ordered bandwidth sample)
+// and the Correlation path (row-parallel Pearson).
+func TestSimilarityMatrixParallelDeterminism(t *testing.T) {
+	x := benchTraces()
+	for _, metric := range []Metric{Euclidean, Correlation} {
+		var ref *mat.Dense
+		var refErr error
+		withWorkers(1, func() { ref, refErr = SimilarityMatrix(x, metric) })
+		if refErr != nil {
+			t.Fatalf("%v serial: %v", metric, refErr)
+		}
+		for _, w := range []int{1, 3, 8} {
+			withWorkers(w, func() {
+				got, err := SimilarityMatrix(x, metric)
+				if err != nil {
+					t.Fatalf("%v workers=%d: %v", metric, w, err)
+				}
+				bitEqual(t, metric.String(), got, ref)
+			})
+		}
+	}
+}
+
+// TestSimilarityCorrelationConstantRows: zero-variance rows score
+// correlation 0 (no edge) identically at every worker count — the
+// degenerate-input behavior must not depend on scheduling.
+func TestSimilarityCorrelationConstantRows(t *testing.T) {
+	x := benchTraces()
+	_, n := x.Dims()
+	for _, i := range []int{4, 9} {
+		for k := 0; k < n; k++ {
+			x.Set(i, k, 21)
+		}
+	}
+	var ref *mat.Dense
+	var refErr error
+	withWorkers(1, func() { ref, refErr = SimilarityMatrix(x, Correlation) })
+	if refErr != nil {
+		t.Fatalf("serial: %v", refErr)
+	}
+	if ref.At(0, 4) != 0 || ref.At(9, 4) != 0 {
+		t.Fatalf("constant rows should carry zero weight, got %v and %v", ref.At(0, 4), ref.At(9, 4))
+	}
+	for _, w := range []int{3, 8} {
+		withWorkers(w, func() {
+			got, err := SimilarityMatrix(x, Correlation)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			bitEqual(t, "constant-rows", got, ref)
+		})
+	}
+}
+
+// TestDistanceMatrixSmallStaysExact pins the sub-threshold serial path.
+func TestDistanceMatrixSmallStaysExact(t *testing.T) {
+	x := mat.NewDenseData(3, 2, []float64{
+		0, 0,
+		3, 4,
+		0, 1,
+	})
+	d := DistanceMatrix(x)
+	if d.At(0, 1) != 5 || d.At(1, 0) != 5 {
+		t.Errorf("d(0,1) = %v, want 5", d.At(0, 1))
+	}
+	if d.At(0, 2) != 1 || d.At(2, 2) != 0 {
+		t.Errorf("d(0,2) = %v, d(2,2) = %v", d.At(0, 2), d.At(2, 2))
+	}
+	if math.Abs(d.At(1, 2)-math.Hypot(3, 3)) > 1e-15 {
+		t.Errorf("d(1,2) = %v", d.At(1, 2))
+	}
+}
+
+// BenchmarkDistanceMatrix isolates the row-parallel pairwise distance
+// kernel at several worker counts.
+func BenchmarkDistanceMatrix(b *testing.B) {
+	x := benchTraces()
+	for _, w := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "workers=1", 4: "workers=4", 8: "workers=8"}[w], func(b *testing.B) {
+			prev := par.SetDefaultWorkers(w)
+			defer par.SetDefaultWorkers(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				DistanceMatrix(x)
+			}
+		})
+	}
+}

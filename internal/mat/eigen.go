@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -115,10 +116,26 @@ func offDiagNorm(a *Dense) float64 {
 	return math.Sqrt(s)
 }
 
+// spectralScaleFloor is the magnitude past which SpectralRadius
+// rescales its input: beyond ~1e150 the matvec norms overflow to +Inf,
+// the iterate normalizes to the zero vector, and the estimate silently
+// collapses to 0 — reporting a wildly unstable matrix as stable.
+const spectralScaleFloor = 1e150
+
+// ErrNonFinite is returned (wrapped) when an operation meets NaN or
+// Inf entries it cannot give a meaningful answer for.
+var ErrNonFinite = errors.New("mat: matrix has non-finite entries")
+
 // SpectralRadius returns the largest absolute eigenvalue of a general
 // square matrix, estimated by power iteration with deterministic
 // restarts. It is used to check identified dynamics matrices for
 // stability. For a zero matrix it returns 0.
+//
+// Matrices with NaN or Inf entries are rejected with ErrNonFinite
+// (power iteration would silently report 0 for them: NaN loses every
+// comparison), and huge-magnitude matrices are rescaled before
+// iterating so intermediate norms cannot overflow — both failure modes
+// previously let unstable identified models masquerade as stable.
 func SpectralRadius(a *Dense, iters int) (float64, error) {
 	m, n := a.Dims()
 	if m != n {
@@ -129,6 +146,28 @@ func SpectralRadius(a *Dense, iters int) (float64, error) {
 	}
 	if iters <= 0 {
 		iters = 200
+	}
+	var mx float64
+	for i := 0; i < n; i++ {
+		for _, v := range a.RawRow(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("mat: spectral radius: %w", ErrNonFinite)
+			}
+			if av := math.Abs(v); av > mx {
+				mx = av
+			}
+		}
+	}
+	if mx == 0 {
+		return 0, nil
+	}
+	scale := 1.0
+	if mx > spectralScaleFloor {
+		// Iterate on a/mx (entries <= 1, norms <= n: no overflow) and
+		// scale the estimate back. Only huge matrices take this path,
+		// so ordinary estimates keep their exact historical values.
+		scale = mx
+		a = a.Scale(1 / mx)
 	}
 	var best float64
 	// Deterministic restart vectors: unit basis directions plus the
@@ -160,5 +199,5 @@ func SpectralRadius(a *Dense, iters int) (float64, error) {
 			best = lam
 		}
 	}
-	return best, nil
+	return scale * best, nil
 }

@@ -14,6 +14,25 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"auditherm/internal/par"
+)
+
+// Parallelism thresholds: a kernel only fans out over the par worker
+// pool once its flop count clears these floors, so the small systems
+// that dominate unit tests and nested per-sensor fits stay on the
+// zero-overhead serial path. The parallel decomposition is row- (or
+// column-) disjoint and performs exactly the serial arithmetic per
+// output element, so results are bit-for-bit identical to the serial
+// path at any worker count.
+const (
+	// mulParFlops gates Dense.Mul (rows*inner*cols fused mul-adds).
+	mulParFlops = 1 << 17
+	// mulVecParFlops gates Dense.MulVec (rows*cols mul-adds).
+	mulVecParFlops = 1 << 15
+	// qrPanelParFlops gates the Householder panel update ((m-k)*(n-k)
+	// mul-adds per reflector application).
+	qrPanelParFlops = 1 << 15
 )
 
 // ErrShape is returned (wrapped) when operand dimensions are incompatible.
@@ -188,36 +207,59 @@ func (m *Dense) sameShape(b *Dense) {
 
 // Mul returns the matrix product m*b as a new matrix.
 // It panics if the inner dimensions disagree.
+//
+// Large products (>= mulParFlops fused mul-adds) are computed with
+// row-blocked parallelism over the par worker pool; each output row is
+// produced by exactly the serial inner loop, so the result is
+// bit-for-bit identical to the serial path at any worker count.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("mat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := NewDense(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		arow := m.RawRow(i)
-		orow := out.RawRow(i)
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			brow := b.RawRow(k)
-			for j, bv := range brow {
-				orow[j] += a * bv
+	mulRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.RawRow(i)
+			orow := out.RawRow(i)
+			for k, a := range arow {
+				if a == 0 {
+					continue
+				}
+				brow := b.RawRow(k)
+				for j, bv := range brow {
+					orow[j] += a * bv
+				}
 			}
 		}
+	}
+	if m.rows*m.cols*b.cols >= mulParFlops {
+		par.For(0, m.rows, 1, mulRows)
+	} else {
+		mulRows(0, m.rows)
 	}
 	return out
 }
 
 // MulVec returns the matrix-vector product m*x as a new slice.
 // It panics if len(x) != Cols().
+//
+// Large products are row-parallel over the par worker pool with
+// bit-identical results to the serial path (each output element is one
+// unchanged dot product).
 func (m *Dense) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("mat: cannot multiply %dx%d by vector of length %d", m.rows, m.cols, len(x)))
 	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Dot(m.RawRow(i), x)
+	dotRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Dot(m.RawRow(i), x)
+		}
+	}
+	if m.rows*m.cols >= mulVecParFlops {
+		par.For(0, m.rows, 8, dotRows)
+	} else {
+		dotRows(0, m.rows)
 	}
 	return out
 }

@@ -1,0 +1,171 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"auditherm/internal/par"
+)
+
+// randDense builds a deterministic pseudo-random matrix big enough to
+// clear the parallelism thresholds.
+func randDense(r, c int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		row := m.RawRow(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// bitEqual compares two matrices element-for-element with no tolerance
+// (NaN-safe via bit comparison through ==; no NaNs appear here).
+func bitEqual(t *testing.T, name string, got, want *Dense) {
+	t.Helper()
+	gr, gc := got.Dims()
+	wr, wc := want.Dims()
+	if gr != wr || gc != wc {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, gr, gc, wr, wc)
+	}
+	for i := 0; i < gr; i++ {
+		g, w := got.RawRow(i), want.RawRow(i)
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("%s: (%d,%d) = %x, serial %x", name, i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+// withWorkers runs fn under a temporary process-wide default worker
+// count.
+func withWorkers(w int, fn func()) {
+	prev := par.SetDefaultWorkers(w)
+	defer par.SetDefaultWorkers(prev)
+	fn()
+}
+
+// TestMulParallelDeterminism: blocked parallel Mul must equal the
+// serial product bit-for-bit at every worker count.
+func TestMulParallelDeterminism(t *testing.T) {
+	a := randDense(120, 80, 1)
+	b := randDense(80, 90, 2) // 120*80*90 = 864k flops > threshold
+	var ref *Dense
+	withWorkers(1, func() { ref = a.Mul(b) })
+	for _, w := range []int{1, 3, 8} {
+		withWorkers(w, func() { bitEqual(t, "Mul", a.Mul(b), ref) })
+	}
+}
+
+// TestMulVecParallelDeterminism: row-parallel MulVec must match the
+// serial matvec bit-for-bit.
+func TestMulVecParallelDeterminism(t *testing.T) {
+	a := randDense(256, 256, 3) // 64k > threshold
+	x := randDense(1, 256, 4).RawRow(0)
+	var ref []float64
+	withWorkers(1, func() { ref = a.MulVec(x) })
+	for _, w := range []int{1, 3, 8} {
+		withWorkers(w, func() {
+			got := a.MulVec(x)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d: out[%d] = %x, serial %x", w, i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestQRParallelDeterminism: the column-parallel panel update and the
+// column-parallel SolveMatrix must reproduce the serial factorization
+// and solutions bit-for-bit.
+func TestQRParallelDeterminism(t *testing.T) {
+	a := randDense(300, 120, 5) // panel (300)*(119) > threshold
+	rhs := randDense(300, 7, 6)
+	var refR, refX *Dense
+	withWorkers(1, func() {
+		qr, err := NewQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refR = qr.R()
+		refX, err = qr.SolveMatrix(rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, w := range []int{1, 3, 8} {
+		withWorkers(w, func() {
+			qr, err := NewQR(a)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			bitEqual(t, "QR.R", qr.R(), refR)
+			x, err := qr.SolveMatrix(rhs)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			bitEqual(t, "QR.SolveMatrix", x, refX)
+		})
+	}
+}
+
+// TestSpectralRadiusHugeEntries is the regression test for the
+// overflow collapse: pre-fix, power iteration on a matrix with
+// ~1e308-magnitude entries normalized its iterate against an +Inf norm
+// and silently reported spectral radius 0 — letting sysid's stability
+// projection wave a divergent model through untouched.
+func TestSpectralRadiusHugeEntries(t *testing.T) {
+	h := 1e308
+	a := NewDenseData(2, 2, []float64{h, h, h, h}) // true radius 2e308 (= +Inf in float64)
+	rho, err := SpectralRadius(a, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < h {
+		t.Fatalf("SpectralRadius = %v, want >= %v (pre-fix collapsed to 0)", rho, h)
+	}
+
+	// A merely-huge (non-overflowing radius) case must come back
+	// finite and accurate.
+	b := NewDenseData(2, 2, []float64{1e200, 0, 0, 2e200})
+	rho, err = SpectralRadius(b, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(rho, 0) || math.Abs(rho-2e200)/2e200 > 1e-9 {
+		t.Fatalf("SpectralRadius = %v, want ~2e200", rho)
+	}
+}
+
+// TestSpectralRadiusNonFinite: NaN/Inf entries must be rejected, not
+// silently scored as radius 0 (NaN loses every comparison inside power
+// iteration).
+func TestSpectralRadiusNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		a := NewDenseData(2, 2, []float64{bad, 0, 0, 0.5})
+		if _, err := SpectralRadius(a, 100); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("entry %v: err = %v, want ErrNonFinite", bad, err)
+		}
+	}
+}
+
+// TestSpectralRadiusUnscaledPathUnchanged pins the ordinary-magnitude
+// path to its exact historical estimates (no rescaling perturbation).
+func TestSpectralRadiusUnscaledPathUnchanged(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{0.9, 0.3, 0.1, 0.5})
+	rho, err := SpectralRadius(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues of [[.9,.3],[.1,.5]]: (1.4 ± sqrt(0.16+0.12))/2.
+	want := (1.4 + math.Sqrt(0.28)) / 2
+	if math.Abs(rho-want) > 1e-9 {
+		t.Fatalf("SpectralRadius = %v, want %v", rho, want)
+	}
+}

@@ -1,10 +1,26 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
+)
+
+// Server hardening knobs. ReadHeaderTimeout bounds how long a client
+// may dribble request headers (without it, idle half-open connections
+// — slowloris-style — pin goroutines and file descriptors forever).
+// Read/Write timeouts stay unset on purpose: /debug/pprof/profile and
+// /debug/pprof/trace legitimately stream for tens of seconds.
+const (
+	readHeaderTimeout = 10 * time.Second
+	idleTimeout       = 2 * time.Minute
+	// shutdownTimeout bounds the graceful drain in Close: in-flight
+	// scrapes and short profiles get this long to finish before the
+	// server falls back to a hard close.
+	shutdownTimeout = 5 * time.Second
 )
 
 // MetricsServer serves the registry over HTTP: /metrics (Prometheus
@@ -39,15 +55,33 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ms := &MetricsServer{
 		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: mux},
-		ln:   ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: readHeaderTimeout,
+			IdleTimeout:       idleTimeout,
+		},
+		ln: ln,
 	}
 	go func() { _ = ms.srv.Serve(ln) }()
 	return ms, nil
 }
 
-// Close shuts the server down.
-func (m *MetricsServer) Close() error { return m.srv.Close() }
+// Close shuts the server down gracefully: it stops accepting new
+// connections and lets in-flight requests (a Prometheus scrape, a
+// short profile) run to completion for up to shutdownTimeout, then
+// hard-closes whatever remains. The previous implementation called
+// http.Server.Close directly, which tore down in-flight scrapes
+// mid-response.
+func (m *MetricsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := m.srv.Shutdown(ctx)
+	if err == nil {
+		return nil
+	}
+	_ = m.srv.Close() // drain exceeded the deadline: hard-close stragglers
+	return err
+}
 
 // URL returns the server's base URL.
 func (m *MetricsServer) URL() string { return "http://" + m.Addr }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestServeMetrics(t *testing.T) {
@@ -42,5 +43,81 @@ func TestServeMetrics(t *testing.T) {
 	}
 	if body := get("/debug/pprof/cmdline"); body == "" {
 		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestServeMetricsHeaderTimeout pins the slowloris hardening: the
+// server must bound how long a client may dribble request headers.
+// Pre-fix, ReadHeaderTimeout was zero (unbounded), so idle half-open
+// connections pinned goroutines forever.
+func TestServeMetricsHeaderTimeout(t *testing.T) {
+	ms, err := ServeMetrics("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if ms.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set: slowloris clients pin connections forever")
+	}
+	if ms.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set: idle keep-alive connections never expire")
+	}
+	if ms.srv.ReadTimeout != 0 || ms.srv.WriteTimeout != 0 {
+		t.Error("Read/Write timeouts must stay unset: pprof profile/trace stream long responses")
+	}
+}
+
+// TestCloseDrainsInFlightScrape is the regression test for the abrupt
+// Close: pre-fix, MetricsServer.Close called http.Server.Close, which
+// tore down the TCP connection under an in-flight request
+// (/debug/pprof/trace?seconds=1 here, standing in for a slow scrape);
+// the client saw an unexpected EOF mid-body. Post-fix, Close drains
+// gracefully and the in-flight request completes with a full body.
+func TestCloseDrainsInFlightScrape(t *testing.T) {
+	ms, err := ServeMetrics("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		n      int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ms.URL() + "/debug/pprof/trace?seconds=1")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, n: len(body), err: err}
+	}()
+	time.Sleep(300 * time.Millisecond) // let the trace request get in flight
+	start := time.Now()
+	if err := ms.Close(); err != nil {
+		t.Fatalf("Close during in-flight request: %v", err)
+	}
+	if waited := time.Since(start); waited > shutdownTimeout+2*time.Second {
+		t.Fatalf("Close took %v, beyond the %v drain bound", waited, shutdownTimeout)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("in-flight request aborted by Close: %v", res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("in-flight request status %d, want 200", res.status)
+		}
+		if res.n == 0 {
+			t.Fatal("in-flight request returned an empty trace body")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	// After the drain the listener must be gone.
+	if _, err := http.Get(ms.URL() + "/metrics"); err == nil {
+		t.Error("server still accepting connections after Close")
 	}
 }

@@ -1,10 +1,12 @@
 package sysid
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"auditherm/internal/mat"
+	"auditherm/internal/par"
 	"auditherm/internal/timeseries"
 )
 
@@ -54,7 +56,11 @@ func (d Data) ValidMask() ([]bool, error) {
 }
 
 // SelectSensors returns a Data view restricted to the given sensor row
-// indices (inputs unchanged). Rows are copied.
+// indices (inputs unchanged). The selected sensor rows are copied; the
+// input matrix is shared with the receiver, not cloned — callers must
+// not mutate it through the view. (The previous deep clone of the full
+// m x N input matrix made FitDecoupled pay p redundant copies per
+// identification.)
 func (d Data) SelectSensors(rows []int) Data {
 	cols := make([]int, d.Temps.Cols())
 	for i := range cols {
@@ -62,7 +68,7 @@ func (d Data) SelectSensors(rows []int) Data {
 	}
 	return Data{
 		Temps:  d.Temps.SubMatrix(rows, cols),
-		Inputs: d.Inputs.Clone(),
+		Inputs: d.Inputs,
 	}
 }
 
@@ -85,6 +91,10 @@ type Options struct {
 	// DefaultOptions uses 0.999, which only bites genuinely unstable
 	// fits.
 	StabilityRadius float64
+	// Workers bounds the per-sensor parallelism of FitDecoupled.
+	// Zero selects the process default (par.DefaultWorkers). Results
+	// are bit-for-bit identical at any worker count.
+	Workers int
 }
 
 // DefaultOptions returns the options used throughout the paper
@@ -103,12 +113,11 @@ type equations struct {
 }
 
 // assemble gathers regression equations from every valid run inside
-// every window.
-func assemble(d Data, windows []timeseries.Segment, order Order, minSeg int) (*equations, error) {
-	mask, err := d.ValidMask()
-	if err != nil {
-		return nil, err
-	}
+// every window. mask marks the steps usable for this fit (all relevant
+// channels finite); it is passed in so batched per-sensor fits can
+// share one input-validity computation instead of recomputing the full
+// mask per sensor.
+func assemble(d Data, windows []timeseries.Segment, order Order, minSeg int, mask []bool) (*equations, error) {
 	p := d.NumSensors()
 	m := d.NumInputs()
 	eqs := &equations{}
@@ -186,6 +195,17 @@ func solveRidge(x, y *mat.Dense, ridge float64) (*mat.Dense, error) {
 // segments of data inside the given windows (paper eq. 4: an ensemble
 // of contiguous intervals solved as one least-squares problem).
 func Fit(d Data, windows []timeseries.Segment, order Order, opts Options) (*Model, error) {
+	mask, err := d.ValidMask()
+	if err != nil {
+		return nil, err
+	}
+	return fitMasked(d, windows, order, opts, mask)
+}
+
+// fitMasked is Fit with the validity mask precomputed by the caller
+// (FitDecoupled shares the input-channel validity across its p
+// per-sensor fits instead of recomputing the full mask p times).
+func fitMasked(d Data, windows []timeseries.Segment, order Order, opts Options, mask []bool) (*Model, error) {
 	if order != FirstOrder && order != SecondOrder {
 		return nil, fmt.Errorf("sysid: unsupported order %v", order)
 	}
@@ -208,7 +228,7 @@ func Fit(d Data, windows []timeseries.Segment, order Order, opts Options) (*Mode
 	if order == SecondOrder {
 		nf += p
 	}
-	eqs, err := assemble(d, windows, order, minSeg)
+	eqs, err := assemble(d, windows, order, minSeg, mask)
 	if err != nil {
 		return nil, err
 	}
@@ -257,25 +277,60 @@ func Fit(d Data, windows []timeseries.Segment, order Order, opts Options) (*Mode
 	return model, nil
 }
 
+// ErrUnstable is returned (wrapped) when the stability projection
+// cannot bring the identified dynamics inside the target spectral
+// radius.
+var ErrUnstable = errors.New("sysid: dynamics unstable after projection")
+
+// stabilizeSlack is the relative tolerance of the post-projection
+// verification: floating-point rounding can leave the radius a few
+// ulps above the target after an exact rescale.
+const stabilizeSlack = 1e-9
+
 // stabilize shrinks the dynamics to the target spectral radius and
 // refits B on the residuals with the dynamics held fixed.
+//
+// The shrink loop is followed by a hard verification: previously the
+// loop could spend its full iteration budget (or be fed a silently
+// wrong radius estimate, e.g. the pre-fix overflow collapse in
+// mat.SpectralRadius) and return nil with the dynamics still outside
+// the stability region, handing callers a model whose free-run
+// predictions diverge. Now a leftover violation gets one final hard
+// projection and, if even that cannot land inside the radius, a
+// wrapped ErrUnstable instead of a silent bad model.
 func (m *Model) stabilize(eqs *equations, opts Options) error {
 	rho, err := m.SpectralRadius()
 	if err != nil {
-		return err
+		return fmt.Errorf("sysid: stability check: %w", err)
 	}
 	if rho <= opts.StabilityRadius {
 		return nil
 	}
-	for iter := 0; iter < 100 && rho > opts.StabilityRadius; iter++ {
-		s := opts.StabilityRadius / rho
+	shrink := func(s float64) error {
 		m.A = m.A.Scale(s)
 		if m.A2 != nil {
 			m.A2 = m.A2.Scale(s)
 		}
 		rho, err = m.SpectralRadius()
 		if err != nil {
+			return fmt.Errorf("sysid: stability check: %w", err)
+		}
+		return nil
+	}
+	for iter := 0; iter < 100 && rho > opts.StabilityRadius; iter++ {
+		if err := shrink(opts.StabilityRadius / rho); err != nil {
 			return err
+		}
+	}
+	if math.IsNaN(rho) || rho > opts.StabilityRadius*(1+stabilizeSlack) {
+		// Iteration cap exhausted with the radius still outside the
+		// target: apply one last hard projection and re-verify.
+		if err := shrink(opts.StabilityRadius / rho); err != nil {
+			return err
+		}
+		if math.IsNaN(rho) || rho > opts.StabilityRadius*(1+stabilizeSlack) {
+			return fmt.Errorf("sysid: spectral radius %.6g above target %v after projection: %w",
+				rho, opts.StabilityRadius, ErrUnstable)
 		}
 	}
 	// Refit B: targets become the one-step residuals after the (now
@@ -318,26 +373,73 @@ func (m *Model) stabilize(eqs *equations, opts Options) error {
 // conclusion argues against: it cannot represent the thermal
 // interactions between locations that the coupled model's off-diagonal
 // A entries capture.
+//
+// The p per-sensor fits are fully decoupled (paper eq. 1-2 with a
+// scalar state), so they run in parallel over the par worker pool —
+// opts.Workers bounds the fan-out, 0 selects the process default —
+// with bit-for-bit identical results at any worker count. The shared
+// input matrix and the input-channel validity mask are computed once
+// and shared across all p fits (previously every fit deep-cloned the
+// full m x N input matrix and recomputed the whole mask).
 func FitDecoupled(d Data, windows []timeseries.Segment, order Order, opts Options) (*Model, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	p := d.NumSensors()
 	m := d.NumInputs()
+	_, n := d.Temps.Dims()
 	model := &Model{Order: order, A: mat.NewDense(p, p), B: mat.NewDense(p, m)}
 	if order == SecondOrder {
 		model.A2 = mat.NewDense(p, p)
 	}
-	for i := 0; i < p; i++ {
-		sub, err := Fit(d.SelectSensors([]int{i}), windows, order, opts)
+	// Input validity, computed once for all sensors.
+	inputMask := make([]bool, n)
+	if m == 0 {
+		for k := range inputMask {
+			inputMask[k] = true
+		}
+	} else {
+		rows := make([][]float64, m)
+		for i := range rows {
+			rows[i] = d.Inputs.RawRow(i)
+		}
+		var err error
+		inputMask, err = timeseries.ValidMask(rows)
 		if err != nil {
-			return nil, fmt.Errorf("sysid: decoupled fit of sensor %d: %w", i, err)
+			return nil, err
+		}
+	}
+	// Per-sensor fits: each writes only row i of the shared output
+	// matrices (disjoint slots), and errors are collected per index so
+	// the reported error is the lowest failing sensor's, independent
+	// of scheduling.
+	errs := make([]error, p)
+	runErr := par.ForEach(nil, opts.Workers, p, func(i int) error {
+		row := d.Temps.RawRow(i)
+		mask := make([]bool, n)
+		for k, ok := range inputMask {
+			mask[k] = ok && !math.IsNaN(row[k]) && !math.IsInf(row[k], 0)
+		}
+		sensor := Data{Temps: mat.NewDenseData(1, n, row), Inputs: d.Inputs}
+		sub, err := fitMasked(sensor, windows, order, opts, mask)
+		if err != nil {
+			errs[i] = fmt.Errorf("sysid: decoupled fit of sensor %d: %w", i, err)
+			return nil
 		}
 		model.A.Set(i, i, sub.A.At(0, 0))
 		if order == SecondOrder {
 			model.A2.Set(i, i, sub.A2.At(0, 0))
 		}
 		copy(model.B.RawRow(i), sub.B.RawRow(0))
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	return model, nil
 }
