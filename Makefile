@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-par clean
+.PHONY: check vet build test race bench bench-par bench-gp clean
 
 check: vet build race test
 
@@ -18,10 +18,12 @@ build:
 # internal/building is the per-cell hot path the obs counters ride on.
 # internal/par is the worker pool everything parallel runs on (its
 # tests cover cancellation and panic capture under load), and
-# internal/sysid / internal/cluster fan their hot loops out over it;
-# all five get the race detector every time.
+# internal/sysid / internal/cluster fan their hot loops out over it.
+# internal/mat and internal/selection carry the shared-factorization
+# GP placement kernels (workspace-reusing solves on top of par-fanned
+# Mul/QR); all seven get the race detector every time.
 race:
-	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster
+	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat
 
 test:
 	$(GO) test ./...
@@ -37,6 +39,14 @@ bench:
 # meaningful speedups; see the "note" field of the output.
 bench-par:
 	$(GO) test ./internal/benchpar -run RecordParBench -record-par-bench
+
+# Regenerate the GP sensor-placement benchmark matrix in BENCH_gp.json
+# (incremental vs lazy vs naive GreedyMI at p = 27/100/300, with the
+# fast==lazy==naive selection-equality gate and a >=10x fast-vs-naive
+# floor at p=300). The naive O(n*p^4) reference runs once per size, so
+# expect this target to take a minute or two.
+bench-gp:
+	$(GO) test ./internal/benchgp -run RecordGPBench -record-gp-bench -timeout 30m
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,199 @@
+// Package benchgp records the GP sensor-placement benchmark matrix
+// into BENCH_gp.json at the repository root. It is a test package
+// only: run via
+//
+//	make bench-gp
+//
+// (equivalently: go test ./internal/benchgp -run RecordGPBench
+// -record-gp-bench). Alongside the timings it enforces the placement
+// equality gate — the incremental (fast), lazy-greedy and naive
+// reference paths must return the same sensors in the same order at
+// every size — and refuses to write the file when that fails, or when
+// the fast path is less than 10x faster than naive at p=300.
+package benchgp
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"auditherm/internal/obs"
+	"auditherm/internal/selection"
+)
+
+var recordGPBench = flag.Bool("record-gp-bench", false, "measure the GP placement benchmark matrix and write BENCH_gp.json at the repo root")
+
+// sizes is the benchmark matrix required by the issue: the paper's 27
+// wireless sensors plus two fleet-scale deployments.
+var sizes = []int{27, 100, 300}
+
+// pick is how many sensors each run places (the paper's largest
+// cluster-count sweep).
+const pick = 8
+
+// minSpeedupAt300 is the acceptance floor for fast vs naive at p=300.
+const minSpeedupAt300 = 10.0
+
+type benchRow struct {
+	Name           string  `json:"name"`
+	Impl           string  `json:"impl"`
+	P              int     `json:"p"`
+	N              int     `json:"n"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+	CandidateEvals int64   `json:"candidate_evals"`
+}
+
+type benchFile struct {
+	Generated    string     `json:"generated"`
+	GoVersion    string     `json:"go_version"`
+	NumCPU       int        `json:"num_cpu"`
+	Note         string     `json:"note"`
+	Reproduce    string     `json:"reproduce"`
+	EqualityGate bool       `json:"fast_lazy_naive_selections_identical"`
+	Benchmarks   []benchRow `json:"benchmarks"`
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// timeOnce measures a single run with a wall clock — the naive path at
+// p=300 is far too slow for testing.Benchmark's auto-scaling, and a
+// single O(n·p^4) run is averaged over billions of flops anyway.
+func timeOnce(f func() error) (int64, error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Nanoseconds(), nil
+}
+
+func TestRecordGPBench(t *testing.T) {
+	if !*recordGPBench {
+		t.Skip("pass -record-gp-bench (or run `make bench-gp`) to regenerate BENCH_gp.json")
+	}
+
+	var rows []benchRow
+	equality := true
+	for _, p := range sizes {
+		cov := selection.SyntheticCovariance(p, int64(42+p))
+		// Equality gate first: one run of each path, selections must be
+		// element-for-element identical.
+		naiveSel, err := selection.GreedyMINaive(cov, pick)
+		if err != nil {
+			t.Fatalf("p=%d naive: %v", p, err)
+		}
+		fastSel, err := selection.GreedyMI(cov, pick)
+		if err != nil {
+			t.Fatalf("p=%d fast: %v", p, err)
+		}
+		lazySel, err := selection.GreedyMIOpts(cov, pick, selection.GreedyMIOptions{Lazy: true})
+		if err != nil {
+			t.Fatalf("p=%d lazy: %v", p, err)
+		}
+		if !equalInts(fastSel, naiveSel) || !equalInts(lazySel, naiveSel) {
+			equality = false
+			t.Errorf("p=%d: selections differ: fast %v lazy %v naive %v", p, fastSel, lazySel, naiveSel)
+			continue
+		}
+
+		var naiveNs int64
+		for _, im := range []struct {
+			name string
+			run  func() ([]int, error)
+		}{
+			{"naive", func() ([]int, error) { return selection.GreedyMINaive(cov, pick) }},
+			{"fast", func() ([]int, error) { return selection.GreedyMI(cov, pick) }},
+			{"lazy", func() ([]int, error) { return selection.GreedyMIOpts(cov, pick, selection.GreedyMIOptions{Lazy: true}) }},
+		} {
+			evalsBefore := obs.Default.CounterValue("auditherm_selection_gp_candidate_evals_total")
+			ns, err := timeOnce(func() error {
+				_, err := im.run()
+				return err
+			})
+			if err != nil {
+				t.Fatalf("p=%d %s: %v", p, im.name, err)
+			}
+			evals := obs.Default.CounterValue("auditherm_selection_gp_candidate_evals_total") - evalsBefore
+			// Re-run fast paths a few times for a steadier number; the
+			// naive path is long enough that one run is stable.
+			if ns < int64(200*time.Millisecond) {
+				const reps = 5
+				total, err := timeOnce(func() error {
+					for r := 0; r < reps; r++ {
+						if _, err := im.run(); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("p=%d %s reps: %v", p, im.name, err)
+				}
+				ns = total / reps
+			}
+			if im.name == "naive" {
+				naiveNs = ns
+			}
+			rows = append(rows, benchRow{
+				Name:           fmt.Sprintf("selection.GreedyMI/p=%d,n=%d", p, pick),
+				Impl:           im.name,
+				P:              p,
+				N:              pick,
+				NsPerOp:        ns,
+				CandidateEvals: evals,
+			})
+		}
+		for i := range rows {
+			r := &rows[i]
+			if r.P == p && naiveNs > 0 && r.NsPerOp > 0 {
+				r.SpeedupVsNaive = float64(naiveNs) / float64(r.NsPerOp)
+			}
+		}
+	}
+	if !equality {
+		t.Fatal("refusing to write BENCH_gp.json: fast/lazy/naive selections not identical")
+	}
+	for _, r := range rows {
+		if r.P == 300 && r.Impl == "fast" && r.SpeedupVsNaive < minSpeedupAt300 {
+			t.Fatalf("refusing to write BENCH_gp.json: fast speedup at p=300 is %.1fx, want >= %.0fx",
+				r.SpeedupVsNaive, minSpeedupAt300)
+		}
+	}
+
+	out := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Note: "Incremental GreedyMI does one Cholesky per round (complement variances from the " +
+			"precision diagonal, selected-set factor rank-grown in O(k^2)) instead of two dense " +
+			"refactorizations per candidate: O(n*p^3) vs the naive O(n*p^4). The lazy path adds " +
+			"submodular priority-queue pruning on top (compare candidate_evals). Selections are " +
+			"verified element-for-element identical across all three paths before timings are recorded.",
+		Reproduce:    "make bench-gp",
+		EqualityGate: true,
+		Benchmarks:   rows,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("../../BENCH_gp.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_gp.json (%d benchmark rows)", len(rows))
+}

@@ -301,6 +301,23 @@ func TestTableIIPaperOrdering(t *testing.T) {
 	}
 }
 
+func TestGPPathsAgreeOnAuditoriumCovariance(t *testing.T) {
+	e := sharedEnvT(t)
+	res, err := GPPaths(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SelectionsIdentical {
+		t.Errorf("placement paths disagree: fast %v lazy %v naive %v", res.Fast, res.Lazy, res.Naive)
+	}
+	if len(res.Fast) != res.K {
+		t.Errorf("selected %d sensors, want %d", len(res.Fast), res.K)
+	}
+	if !strings.Contains(res.String(), "identical: true") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
 func TestFigure9MoreSensorsHelp(t *testing.T) {
 	e := sharedEnvT(t)
 	res, err := Figure9(e)

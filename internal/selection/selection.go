@@ -112,80 +112,6 @@ func SimpleRandom(p, k int, seed int64) ([]int, error) {
 	return out, nil
 }
 
-// GreedyMI picks n sensors by greedily maximizing the mutual
-// information between selected and unselected locations under a
-// Gaussian process with the given covariance (Krause et al.'s
-// near-optimal placement, the paper's GP baseline). A small jitter is
-// added to keep conditional variances positive.
-func GreedyMI(cov *mat.Dense, n int) ([]int, error) {
-	p, q := cov.Dims()
-	if p != q {
-		return nil, fmt.Errorf("selection: covariance is %dx%d: %w", p, q, mat.ErrShape)
-	}
-	if n < 1 || n > p {
-		return nil, fmt.Errorf("selection: GP picking %d of %d sensors", n, p)
-	}
-	const jitter = 1e-9
-	sel := make([]int, 0, n)
-	inSel := make([]bool, p)
-	for len(sel) < n {
-		bestY, bestScore := -1, math.Inf(-1)
-		for y := 0; y < p; y++ {
-			if inSel[y] {
-				continue
-			}
-			num, err := conditionalVar(cov, y, sel, jitter)
-			if err != nil {
-				return nil, fmt.Errorf("selection: GP conditioning on selected: %w", err)
-			}
-			// Complement excluding y and the already-selected set.
-			var comp []int
-			for j := 0; j < p; j++ {
-				if j != y && !inSel[j] {
-					comp = append(comp, j)
-				}
-			}
-			den, err := conditionalVar(cov, y, comp, jitter)
-			if err != nil {
-				return nil, fmt.Errorf("selection: GP conditioning on complement: %w", err)
-			}
-			score := num / den
-			if score > bestScore {
-				bestScore, bestY = score, y
-			}
-		}
-		sel = append(sel, bestY)
-		inSel[bestY] = true
-	}
-	return sel, nil
-}
-
-// conditionalVar returns Var(y | cond) = cov[y,y] - cov[y,cond] *
-// cov[cond,cond]^-1 * cov[cond,y] with diagonal jitter.
-func conditionalVar(cov *mat.Dense, y int, cond []int, jitter float64) (float64, error) {
-	vy := cov.At(y, y) + jitter
-	if len(cond) == 0 {
-		return vy, nil
-	}
-	sub := cov.SubMatrix(cond, cond)
-	for i := range cond {
-		sub.Set(i, i, sub.At(i, i)+jitter)
-	}
-	cross := make([]float64, len(cond))
-	for i, j := range cond {
-		cross[i] = cov.At(y, j)
-	}
-	sol, err := mat.Solve(sub, cross)
-	if err != nil {
-		return 0, err
-	}
-	v := vy - mat.Dot(cross, sol)
-	if v < jitter {
-		v = jitter
-	}
-	return v, nil
-}
-
 // PCALoadings picks n sensors by principal-component loadings: for
 // each of the top n principal components of the covariance matrix (in
 // descending eigenvalue order), the not-yet-selected sensor with the
