@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-par bench-gp clean
+.PHONY: check vet build test race bench bench-par bench-gp bench-monitor clean
 
 check: vet build race test
 
@@ -21,9 +21,11 @@ build:
 # internal/sysid / internal/cluster fan their hot loops out over it.
 # internal/mat and internal/selection carry the shared-factorization
 # GP placement kernels (workspace-reusing solves on top of par-fanned
-# Mul/QR); all seven get the race detector every time.
+# Mul/QR). internal/monitor publishes health verdicts read concurrently
+# by /readyz and the metrics scraper while the control loop updates it;
+# all eight get the race detector every time.
 race:
-	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat
+	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat ./internal/monitor
 
 test:
 	$(GO) test ./...
@@ -47,6 +49,14 @@ bench-par:
 # expect this target to take a minute or two.
 bench-gp:
 	$(GO) test ./internal/benchgp -run RecordGPBench -record-gp-bench -timeout 30m
+
+# Regenerate the model-health monitoring benchmark matrix in
+# BENCH_monitor.json (steady-state Update/UpdateAt, the 27-sensor
+# decision-step sweep, Snapshot, and the one-step sysid predictor).
+# The steady-state zero-allocs gate must hold or the file is not
+# written.
+bench-monitor:
+	$(GO) test ./internal/benchmonitor -run RecordMonitorBench -record-monitor-bench
 
 clean:
 	$(GO) clean ./...

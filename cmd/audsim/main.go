@@ -14,9 +14,9 @@ import (
 	"os"
 	"time"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 	"auditherm/internal/obs"
-	"auditherm/internal/par"
 	"auditherm/internal/timeseries"
 )
 
@@ -25,29 +25,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for all stochastic components")
 	out := flag.String("o", "dataset.csv", "output CSV path (\"-\" for stdout)")
 	truthOut := flag.String("truth", "", "optional path for the noise-free ground-truth CSV")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
-	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
-	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
+	common := cliutil.Register()
 	flag.Parse()
-	par.SetDefaultWorkers(*parallelism)
 
-	if *metricsAddr != "" {
-		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "audsim:", err)
-			os.Exit(1)
-		}
-		defer ms.Close()
-		fmt.Fprintf(os.Stderr, "metrics: %s/metrics\n", ms.URL())
+	rt, err := common.Start("audsim")
+	if err != nil {
+		cliutil.Fatal(nil, "audsim", err)
 	}
+	defer rt.Close()
 
-	if err := run(*days, *seed, *out, *truthOut, *manifestPath); err != nil {
-		fmt.Fprintln(os.Stderr, "audsim:", err)
-		os.Exit(1)
+	if err := run(rt, *days, *seed, *out, *truthOut); err != nil {
+		cliutil.Fatal(rt, "audsim", err)
 	}
 }
 
-func run(days int, seed int64, out, truthOut, manifestPath string) error {
+func run(rt *cliutil.Runtime, days int, seed int64, out, truthOut string) error {
 	cfg := dataset.DefaultConfig()
 	cfg.Days = days
 	cfg.Seed = seed
@@ -56,7 +48,7 @@ func run(days int, seed int64, out, truthOut, manifestPath string) error {
 	cfg.NumLongOutages = days * 7 / 98
 	cfg.NumShortOutages = days * 12 / 98
 
-	b := obs.NewManifest("audsim")
+	b := rt.NewManifest()
 	b.SetSeed(seed)
 	b.SetConfig(map[string]string{
 		"days":   fmt.Sprint(days),
@@ -88,19 +80,15 @@ func run(days int, seed int64, out, truthOut, manifestPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "usable occupied days: %d of %d\n", len(occ), days)
-	if manifestPath != "" {
+	if rt.ManifestRequested() {
 		b.SetMetric("grid_steps", float64(d.Frame.Grid.N))
 		b.SetMetric("channels", float64(len(d.Frame.Channels)))
 		b.SetMetric("missing_fraction", d.Frame.MissingFraction())
 		b.SetMetric("usable_occupied_days", float64(len(occ)))
 		b.StageCount("generate", "sim_steps", obs.Default.CounterValue("auditherm_dataset_sim_steps_total"))
 		b.StageCount("generate", "samples", obs.Default.CounterValue("auditherm_dataset_samples_total"))
-		if err := b.WriteFile(manifestPath); err != nil {
-			return fmt.Errorf("writing manifest: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "manifest written to %s\n", manifestPath)
 	}
-	return nil
+	return rt.WriteManifest(b)
 }
 
 func writeCSV(path string, f *timeseries.Frame) error {

@@ -5,14 +5,32 @@ import (
 	"path/filepath"
 	"testing"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 )
+
+func testRuntime(t *testing.T, c *cliutil.Common) *cliutil.Runtime {
+	t.Helper()
+	if c == nil {
+		c = &cliutil.Common{}
+	}
+	if c.LogLevel == "" {
+		c.LogLevel = "error"
+	}
+	rt, err := c.Start("audsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
 
 func TestRunWritesDatasetAndTruth(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "ds.csv")
 	truth := filepath.Join(dir, "truth.csv")
-	if err := run(7, 3, out, truth, filepath.Join(dir, "manifest.json")); err != nil {
+	rt := testRuntime(t, &cliutil.Common{Manifest: filepath.Join(dir, "manifest.json")})
+	if err := run(rt, 7, 3, out, truth); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
@@ -35,7 +53,7 @@ func TestRunWritesDatasetAndTruth(t *testing.T) {
 }
 
 func TestRunRejectsBadDays(t *testing.T) {
-	if err := run(0, 1, filepath.Join(t.TempDir(), "x.csv"), "", ""); err == nil {
+	if err := run(testRuntime(t, nil), 0, 1, filepath.Join(t.TempDir(), "x.csv"), ""); err == nil {
 		t.Error("zero days accepted")
 	}
 }
@@ -43,7 +61,7 @@ func TestRunRejectsBadDays(t *testing.T) {
 func TestRunShortTraceKeepsUsableDays(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "ds.csv")
-	if err := run(14, 5, out, "", ""); err != nil {
+	if err := run(testRuntime(t, nil), 14, 5, out, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)

@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"os"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/cluster"
 	"auditherm/internal/dataset"
 	"auditherm/internal/obs"
-	"auditherm/internal/par"
 	"auditherm/internal/timeseries"
 )
 
@@ -26,29 +26,21 @@ func main() {
 	k := flag.Int("k", 0, "cluster count (0 = choose by largest log-eigengap)")
 	onHour := flag.Int("on", 6, "HVAC on hour")
 	offHour := flag.Int("off", 21, "HVAC off hour")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
-	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
-	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
+	common := cliutil.Register()
 	flag.Parse()
-	par.SetDefaultWorkers(*parallelism)
 
-	if *metricsAddr != "" {
-		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cluster:", err)
-			os.Exit(1)
-		}
-		defer ms.Close()
-		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	rt, err := common.Start("cluster")
+	if err != nil {
+		cliutil.Fatal(nil, "cluster", err)
 	}
+	defer rt.Close()
 
-	if err := run(*in, *metricName, *k, *onHour, *offHour, *manifestPath); err != nil {
-		fmt.Fprintln(os.Stderr, "cluster:", err)
-		os.Exit(1)
+	if err := run(rt, *in, *metricName, *k, *onHour, *offHour); err != nil {
+		cliutil.Fatal(rt, "cluster", err)
 	}
 }
 
-func run(in, metricName string, k, onHour, offHour int, manifestPath string) error {
+func run(rt *cliutil.Runtime, in, metricName string, k, onHour, offHour int) error {
 	if in == "" {
 		return fmt.Errorf("missing -i dataset.csv")
 	}
@@ -62,7 +54,7 @@ func run(in, metricName string, k, onHour, offHour int, manifestPath string) err
 		return fmt.Errorf("unknown metric %q", metricName)
 	}
 
-	b := obs.NewManifest("cluster")
+	b := rt.NewManifest()
 	b.SetConfig(map[string]string{
 		"input":  in,
 		"metric": metricName,
@@ -132,12 +124,8 @@ func run(in, metricName string, k, onHour, offHour int, manifestPath string) err
 		}
 		fmt.Println()
 	}
-	if manifestPath != "" {
+	if rt.ManifestRequested() {
 		b.StageCount("cluster", "kmeans_iterations", obs.Default.CounterValue("auditherm_cluster_kmeans_iterations_total"))
-		if err := b.WriteFile(manifestPath); err != nil {
-			return fmt.Errorf("writing manifest: %w", err)
-		}
-		fmt.Printf("manifest written to %s\n", manifestPath)
 	}
-	return nil
+	return rt.WriteManifest(b)
 }

@@ -6,8 +6,20 @@ import (
 	"testing"
 	"time"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 )
+
+func testRuntime(t *testing.T) *cliutil.Runtime {
+	t.Helper()
+	c := &cliutil.Common{LogLevel: "error"}
+	rt, err := c.Start("cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
 
 func writeTestCSV(t *testing.T) string {
 	t.Helper()
@@ -37,24 +49,24 @@ func writeTestCSV(t *testing.T) string {
 func TestRunBothMetrics(t *testing.T) {
 	csv := writeTestCSV(t)
 	for _, metric := range []string{"correlation", "euclidean"} {
-		if err := run(csv, metric, 0, 6, 21, ""); err != nil {
+		if err := run(testRuntime(t), csv, metric, 0, 6, 21); err != nil {
 			t.Errorf("%s: %v", metric, err)
 		}
 	}
-	if err := run(csv, "correlation", 3, 6, 21, ""); err != nil {
+	if err := run(testRuntime(t), csv, "correlation", 3, 6, 21); err != nil {
 		t.Errorf("fixed k: %v", err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
 	csv := writeTestCSV(t)
-	if err := run("", "correlation", 0, 6, 21, ""); err == nil {
+	if err := run(testRuntime(t), "", "correlation", 0, 6, 21); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(csv, "cosine", 0, 6, 21, ""); err == nil {
+	if err := run(testRuntime(t), csv, "cosine", 0, 6, 21); err == nil {
 		t.Error("unknown metric accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.csv"), "correlation", 0, 6, 21, ""); err == nil {
+	if err := run(testRuntime(t), filepath.Join(t.TempDir(), "nope.csv"), "correlation", 0, 6, 21); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -2,23 +2,32 @@
 // under a chosen controller and prints daily comfort and energy
 // metrics — the tool version of the repository's control study.
 //
+// With -monitor it attaches the online model-health monitor to the
+// loop: the controller reads its sensors through a simulated wireless
+// sensing chain (stale holds during injected fault windows), and the
+// monitor compares those readings against the simulator's ground truth
+// every decision step, raising alarms and health-state transitions to
+// the structured log, the -alert-log journal, /metrics and /readyz.
+//
 // Usage:
 //
 //	hvacsim [-controller deadband|fixed] [-days 7] [-setpoint 21]
+//	        [-monitor] [-fault-sensor 0] [-fault-start 34h] [-fault-dur 3h]
+//	        [-alert-log alerts.jsonl] [-log-level info]
 //	        [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"auditherm/internal/building"
+	"auditherm/internal/cliutil"
 	"auditherm/internal/control"
+	"auditherm/internal/monitor"
 	"auditherm/internal/obs"
 	"auditherm/internal/occupancy"
-	"auditherm/internal/par"
 	"auditherm/internal/weather"
 )
 
@@ -28,29 +37,27 @@ func main() {
 	setpoint := flag.Float64("setpoint", 21, "comfort setpoint in degC")
 	flow := flag.Float64("flow", 0.3, "per-VAV flow for the fixed controller (kg/s)")
 	seed := flag.Int64("seed", 1, "seed for schedule and weather")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
-	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
-	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
+	faultSensor := flag.Int("fault-sensor", -1, "with -monitor: freeze this sensor index (stale-hold fault injection); -1 disables")
+	faultStart := flag.Duration("fault-start", 34*time.Hour, "fault onset, offset from the simulation start")
+	faultDur := flag.Duration("fault-dur", 3*time.Hour, "fault duration")
+	warmup := flag.Int("monitor-warmup", 0, "override the monitor's warm-up updates (0 keeps the default)")
+	common := cliutil.Register()
 	flag.Parse()
-	par.SetDefaultWorkers(*parallelism)
 
-	if *metricsAddr != "" {
-		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hvacsim:", err)
-			os.Exit(1)
-		}
-		defer ms.Close()
-		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	rt, err := common.Start("hvacsim")
+	if err != nil {
+		cliutil.Fatal(nil, "hvacsim", err)
 	}
+	defer rt.Close()
 
-	if err := run(*name, *days, *setpoint, *flow, *seed, *manifestPath); err != nil {
-		fmt.Fprintln(os.Stderr, "hvacsim:", err)
-		os.Exit(1)
+	if err := run(rt, *name, *days, *setpoint, *flow, *seed,
+		*faultSensor, *faultStart, *faultDur, *warmup); err != nil {
+		cliutil.Fatal(rt, "hvacsim", err)
 	}
 }
 
-func run(name string, days int, setpoint, flow float64, seed int64, manifestPath string) error {
+func run(rt *cliutil.Runtime, name string, days int, setpoint, flow float64, seed int64,
+	faultSensor int, faultStart, faultDur time.Duration, warmup int) error {
 	var ctrl control.Controller
 	switch name {
 	case "deadband":
@@ -81,10 +88,12 @@ func run(name string, days int, setpoint, flow float64, seed int64, manifestPath
 		return err
 	}
 	var thermoPos, allPos []building.Point
+	var thermoNames []string
 	for _, sp := range building.AuditoriumSensors() {
 		allPos = append(allPos, sp.Pos)
 		if sp.Thermostat {
 			thermoPos = append(thermoPos, sp.Pos)
+			thermoNames = append(thermoNames, sp.Name())
 		}
 	}
 	cfg := control.LoopConfig{
@@ -100,13 +109,46 @@ func run(name string, days int, setpoint, flow float64, seed int64, manifestPath
 		Setpoint:         setpoint,
 		NumVAVs:          4,
 	}
-	b := obs.NewManifest("hvacsim")
+
+	var health *monitor.Monitor
+	if rt.MonitorEnabled() {
+		mcfg := monitor.DefaultConfig()
+		if warmup > 0 {
+			mcfg.Warmup = warmup
+		}
+		// The ground-truth residual is exactly zero under perfect
+		// sensing, so the baseline floor sets the alarm scale: a held
+		// reading a few tenths of a degree stale standardizes to a
+		// large z.
+		mcfg.MinStd = 0.02
+		health, err = monitor.New(thermoNames, mcfg)
+		if err != nil {
+			return err
+		}
+		if err := rt.AttachMonitor(health); err != nil {
+			return err
+		}
+		cfg.Health = health
+		if faultSensor >= 0 {
+			if faultSensor >= len(thermoPos) {
+				return fmt.Errorf("fault sensor %d outside %d thermostat sensors", faultSensor, len(thermoPos))
+			}
+			cfg.Sense = staleHold(faultSensor, start.Add(faultStart), start.Add(faultStart).Add(faultDur), len(thermoPos))
+			rt.Log.Info("fault injection armed",
+				"sensor", thermoNames[faultSensor],
+				"start", start.Add(faultStart).Format(time.RFC3339),
+				"dur", faultDur.String())
+		}
+	}
+
+	b := rt.NewManifest()
 	b.SetSeed(seed)
 	b.SetConfig(map[string]string{
 		"controller": name,
 		"days":       fmt.Sprint(days),
 		"setpoint":   fmt.Sprint(setpoint),
 		"flow":       fmt.Sprint(flow),
+		"monitor":    fmt.Sprint(rt.MonitorEnabled()),
 	})
 	fmt.Printf("running %s over %d days (setpoint %.1f degC)...\n", ctrl.Name(), days, setpoint)
 	b.StartStage("loop")
@@ -120,17 +162,50 @@ func run(name string, days int, setpoint, flow float64, seed int64, manifestPath
 	fmt.Printf("discomfort fraction:  %.1f%% (|PMV| deviation > 0.5 from setpoint)\n", 100*res.DiscomfortFrac)
 	fmt.Printf("cooling delivered:    %.1f kWh thermal\n", res.CoolingKWh)
 	fmt.Printf("mean occupied flow:   %.2f kg/s\n", res.MeanOccupiedFlow)
-	if manifestPath != "" {
+	if health != nil {
+		worst, perState := health.Verdict()
+		fmt.Printf("model health:         %s", worst)
+		for _, st := range []monitor.State{monitor.Faulty, monitor.Degraded, monitor.Recovered} {
+			if n := perState[st]; n > 0 {
+				fmt.Printf("  %d %s", n, st)
+			}
+		}
+		fmt.Println()
+		b.SetMetric("health_worst_state", float64(worst))
+		b.SetMetric("health_alarms_total",
+			float64(obs.Default.CounterValue("auditherm_monitor_alarms_total")))
+		b.SetMetric("health_transitions_total",
+			float64(obs.Default.CounterValue("auditherm_monitor_transitions_total")))
+	}
+	if rt.ManifestRequested() {
 		b.SetMetric("comfort_rms_degc", res.ComfortRMS)
 		b.SetMetric("discomfort_frac", res.DiscomfortFrac)
 		b.SetMetric("cooling_kwh", res.CoolingKWh)
 		b.SetMetric("mean_occupied_flow_kgs", res.MeanOccupiedFlow)
 		b.StageCount("loop", "ticks", obs.Default.CounterValue("auditherm_control_ticks_total"))
 		b.StageCount("loop", "decisions", obs.Default.CounterValue("auditherm_control_decisions_total"))
-		if err := b.WriteFile(manifestPath); err != nil {
-			return fmt.Errorf("writing manifest: %w", err)
-		}
-		fmt.Printf("manifest written to %s\n", manifestPath)
 	}
-	return nil
+	return rt.WriteManifest(b)
+}
+
+// staleHold builds a Sense layer that freezes one sensor at its
+// reading from the fault onset for the duration of the window — the
+// signature of a report-on-change node whose radio (or battery) died.
+func staleHold(sensor int, from, to time.Time, n int) func(time.Time, []float64) []float64 {
+	held := 0.0
+	haveHeld := false
+	out := make([]float64, n)
+	return func(t time.Time, truth []float64) []float64 {
+		copy(out, truth)
+		if !t.Before(from) && t.Before(to) {
+			if !haveHeld {
+				held = truth[sensor]
+				haveHeld = true
+			}
+			out[sensor] = held
+		} else {
+			haveHeld = false
+		}
+		return out
+	}
 }

@@ -1,17 +1,193 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"auditherm/internal/cliutil"
+	"auditherm/internal/monitor"
+	"auditherm/internal/obs"
+)
+
+func testRuntime(t *testing.T, c *cliutil.Common) *cliutil.Runtime {
+	t.Helper()
+	if c == nil {
+		c = &cliutil.Common{}
+	}
+	if c.LogLevel == "" {
+		c.LogLevel = "error"
+	}
+	rt, err := c.Start("hvacsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
 
 func TestRunControllers(t *testing.T) {
 	for _, name := range []string{"deadband", "fixed"} {
-		if err := run(name, 1, 21, 0.3, 1, ""); err != nil {
+		rt := testRuntime(t, nil)
+		if err := run(rt, name, 1, 21, 0.3, 1, -1, 0, 0, 0); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("pid", 1, 21, 0.3, 1, ""); err == nil {
+	rt := testRuntime(t, nil)
+	if err := run(rt, "pid", 1, 21, 0.3, 1, -1, 0, 0, 0); err == nil {
 		t.Error("unknown controller accepted")
+	}
+}
+
+func httpBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMonitorEndToEnd is the issue's acceptance scenario: a run with an
+// injected sensing fault must (1) report not-ready on /readyz while the
+// monitor warms up, (2) raise a detector alarm within a bounded delay
+// of the fault onset, (3) transition the sensor's health state, (4)
+// emit correlated slog and journal records sharing the manifest's run
+// ID, and (5) expose the alarm counters over /metrics.
+func TestMonitorEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	alertPath := filepath.Join(dir, "alerts.jsonl")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	var logBuf bytes.Buffer
+	common := &cliutil.Common{
+		MetricsAddr: "127.0.0.1:0",
+		Manifest:    manifestPath,
+		Monitor:     true,
+		AlertLog:    alertPath,
+		LogLevel:    "info",
+		LogWriter:   &logBuf,
+	}
+	rt := testRuntime(t, common)
+
+	// (1) Pre-warm-up readiness: attach a monitor the way run() does
+	// and probe /readyz before it has seen any data.
+	pre, err := monitor.New([]string{"probe"}, monitor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AttachMonitor(pre); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := httpBody(t, rt.Metrics.URL()+"/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "warming up") {
+		t.Errorf("pre-warm-up /readyz = %d %q, want 503 naming warm-up", code, body)
+	}
+	if code, _ := httpBody(t, rt.Metrics.URL()+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+
+	// (2-5) Full run: sensor 0 frozen for 3 h starting at hour 10 of a
+	// one-day run, with the monitor warm after 24 decisions (6 h).
+	alarmsBefore := obs.Default.CounterValue("auditherm_monitor_alarms_total")
+	if err := run(rt, "deadband", 1, 21, 0.3, 1,
+		0, 10*time.Hour, 3*time.Hour, 24); err != nil {
+		t.Fatal(err)
+	}
+
+	// Journal: alarm + transition entries for the faulted sensor, all
+	// carrying this run's ID.
+	entries, err := monitor.ReadJournal(alertPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("alert journal empty after faulted run")
+	}
+	simStart := time.Date(2013, time.March, 4, 0, 0, 0, 0, time.UTC)
+	faultStart := simStart.Add(10 * time.Hour)
+	var sawAlarm, sawTransition bool
+	var firstAlarm time.Time
+	for _, e := range entries {
+		if e.RunID != rt.RunID {
+			t.Fatalf("journal entry run_id %q, want %q", e.RunID, rt.RunID)
+		}
+		switch e.Kind {
+		case "alarm":
+			if !sawAlarm {
+				firstAlarm = e.Time
+			}
+			sawAlarm = true
+		case "transition":
+			sawTransition = true
+		}
+	}
+	if !sawAlarm || !sawTransition {
+		t.Fatalf("journal kinds: alarm=%v transition=%v, want both", sawAlarm, sawTransition)
+	}
+	// Bounded detection delay: the stale hold must alarm within 1 h
+	// (4 decision steps) of onset.
+	if firstAlarm.Before(faultStart) {
+		t.Errorf("alarm at %v predates fault onset %v", firstAlarm, faultStart)
+	}
+	if delay := firstAlarm.Sub(faultStart); delay > time.Hour {
+		t.Errorf("detection delay %v, want <= 1h", delay)
+	}
+
+	// Correlated slog records: an alarm line carrying the run ID.
+	logs := logBuf.String()
+	if !strings.Contains(logs, rt.RunID) {
+		t.Error("structured log has no record with the run ID")
+	}
+	if !strings.Contains(logs, `"kind":"alarm"`) && !strings.Contains(logs, "alarm") {
+		t.Errorf("structured log has no alarm record:\n%s", logs)
+	}
+
+	// /metrics exposes the advanced alarm counter.
+	if code, body := httpBody(t, rt.Metrics.URL()+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "auditherm_monitor_alarms_total") {
+		t.Errorf("/metrics = %d, missing monitor counters", code)
+	}
+	if obs.Default.CounterValue("auditherm_monitor_alarms_total") <= alarmsBefore {
+		t.Error("auditherm_monitor_alarms_total did not advance")
+	}
+
+	// Manifest: same run ID, journal referenced, health metrics set.
+	rt.Close() // flush journal (idempotent; Cleanup closes again)
+	var mf obs.RunManifest
+	mf, err = obs.ReadManifestFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.RunID != rt.RunID {
+		t.Errorf("manifest run_id %q, want %q", mf.RunID, rt.RunID)
+	}
+	if mf.AlertLog != alertPath {
+		t.Errorf("manifest alert_log %q, want %q", mf.AlertLog, alertPath)
+	}
+	if mf.Metrics["health_alarms_total"] <= 0 {
+		t.Errorf("manifest health_alarms_total = %v, want > 0", mf.Metrics["health_alarms_total"])
+	}
+	if _, ok := mf.Metrics["health_worst_state"]; !ok {
+		t.Error("manifest missing health_worst_state")
+	}
+	// The log is valid JSONL throughout.
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
 	}
 }

@@ -17,42 +17,33 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/experiments"
 	"auditherm/internal/obs"
-	"auditherm/internal/par"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (table1, table2, fig2..fig11)")
 	short := flag.Bool("short", false, "skip the slowest sweeps")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
-	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
-	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
+	common := cliutil.Register()
 	flag.Parse()
-	par.SetDefaultWorkers(*parallelism)
 
-	if *metricsAddr != "" {
-		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "repro:", err)
-			os.Exit(1)
-		}
-		defer ms.Close()
-		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	rt, err := common.Start("repro")
+	if err != nil {
+		cliutil.Fatal(nil, "repro", err)
 	}
+	defer rt.Close()
 
-	if err := run(*only, *short, *manifestPath); err != nil {
-		fmt.Fprintln(os.Stderr, "repro:", err)
-		os.Exit(1)
+	if err := run(rt, *only, *short); err != nil {
+		cliutil.Fatal(rt, "repro", err)
 	}
 }
 
-func run(only string, short bool, manifestPath string) error {
-	b := obs.NewManifest("repro")
+func run(rt *cliutil.Runtime, only string, short bool) error {
+	b := rt.NewManifest()
 	b.SetSeed(1) // dataset.DefaultConfig seed
 	b.SetConfig(map[string]string{
 		"only":  only,
@@ -152,15 +143,11 @@ func run(only string, short bool, manifestPath string) error {
 		return fmt.Errorf("unknown experiment %q", only)
 	}
 	root.End()
-	if manifestPath != "" {
+	if rt.ManifestRequested() {
 		b.StageCount("dataset", "sim_steps", obs.Default.CounterValue("auditherm_dataset_sim_steps_total"))
 		b.StageCount("dataset", "samples", obs.Default.CounterValue("auditherm_dataset_samples_total"))
-		if err := b.WriteFile(manifestPath); err != nil {
-			return fmt.Errorf("writing manifest: %w", err)
-		}
-		fmt.Printf("manifest written to %s\n", manifestPath)
 	}
-	return nil
+	return rt.WriteManifest(b)
 }
 
 // stringers joins multiple results into one printable block.

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	selectsensors -i dataset.csv [-k 2] [-seeds 10] [-gp fast|lazy|naive] [-parallelism N]
+//	selectsensors -i dataset.csv [-k 2] [-seeds 10] [-gp fast|lazy|naive]
+//	              [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
@@ -14,10 +15,10 @@ import (
 	"os"
 	"time"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/cluster"
 	"auditherm/internal/dataset"
 	"auditherm/internal/mat"
-	"auditherm/internal/par"
 	"auditherm/internal/selection"
 	"auditherm/internal/stats"
 	"auditherm/internal/timeseries"
@@ -30,13 +31,17 @@ func main() {
 	onHour := flag.Int("on", 6, "HVAC on hour")
 	offHour := flag.Int("off", 21, "HVAC off hour")
 	gpMode := flag.String("gp", "fast", "GP placement path: fast (incremental, default), lazy (incremental + submodular queue pruning) or naive (O(n*p^4) reference); all three return identical selections")
-	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
+	common := cliutil.Register()
 	flag.Parse()
-	par.SetDefaultWorkers(*parallelism)
 
-	if err := run(*in, *k, *seeds, *onHour, *offHour, *gpMode); err != nil {
-		fmt.Fprintln(os.Stderr, "selectsensors:", err)
-		os.Exit(1)
+	rt, err := common.Start("selectsensors")
+	if err != nil {
+		cliutil.Fatal(nil, "selectsensors", err)
+	}
+	defer rt.Close()
+
+	if err := run(rt, *in, *k, *seeds, *onHour, *offHour, *gpMode); err != nil {
+		cliutil.Fatal(rt, "selectsensors", err)
 	}
 }
 
@@ -57,7 +62,7 @@ func greedyMIPath(mode string) (func(cov *mat.Dense, n int) ([]int, error), erro
 	return nil, fmt.Errorf("unknown -gp mode %q (want fast, lazy or naive)", mode)
 }
 
-func run(in string, k, seeds, onHour, offHour int, gpMode string) error {
+func run(rt *cliutil.Runtime, in string, k, seeds, onHour, offHour int, gpMode string) error {
 	if in == "" {
 		return fmt.Errorf("missing -i dataset.csv")
 	}
@@ -68,6 +73,14 @@ func run(in string, k, seeds, onHour, offHour int, gpMode string) error {
 	if err != nil {
 		return err
 	}
+	b := rt.NewManifest()
+	b.SetConfig(map[string]string{
+		"input": in,
+		"k":     fmt.Sprint(k),
+		"seeds": fmt.Sprint(seeds),
+		"gp":    gpMode,
+	})
+	b.StartStage("load")
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -100,6 +113,7 @@ func run(in string, k, seeds, onHour, offHour int, gpMode string) error {
 		return fmt.Errorf("not enough gap-free steps (train %d, valid %d)", trainX.Cols(), validX.Cols())
 	}
 
+	b.StartStage("cluster")
 	w, err := cluster.SimilarityMatrix(trainX, cluster.Correlation)
 	if err != nil {
 		return err
@@ -108,6 +122,7 @@ func run(in string, k, seeds, onHour, offHour int, gpMode string) error {
 	if err != nil {
 		return err
 	}
+	b.StartStage("select")
 	members := res.Members()
 	fmt.Printf("%d clusters over %d sensors (train %d steps, validation %d steps)\n",
 		res.K, len(sensors), trainX.Cols(), validX.Cols())
@@ -143,6 +158,7 @@ func run(in string, k, seeds, onHour, offHour int, gpMode string) error {
 		return err
 	}
 	fmt.Printf("%-8s %-10.3f %v\n", "SMS", v, smsNames)
+	b.SetMetric("sms_99pct_err", v)
 
 	var srsSum, rsSum float64
 	for seed := 1; seed <= seeds; seed++ {
@@ -165,6 +181,8 @@ func run(in string, k, seeds, onHour, offHour int, gpMode string) error {
 	}
 	fmt.Printf("%-8s %-10.3f (mean of %d draws)\n", "SRS", srsSum/float64(seeds), seeds)
 	fmt.Printf("%-8s %-10.3f (mean of %d draws)\n", "RS", rsSum/float64(seeds), seeds)
+	b.SetMetric("srs_99pct_err", srsSum/float64(seeds))
+	b.SetMetric("rs_99pct_err", rsSum/float64(seeds))
 
 	cov, err := stats.CovarianceMatrix(trainX)
 	if err != nil {
@@ -184,5 +202,8 @@ func run(in string, k, seeds, onHour, offHour int, gpMode string) error {
 		return err
 	}
 	fmt.Printf("%-8s %-10.3f %v (%s path, %v)\n", "GP", v, gpNames, gpMode, gpElapsed.Round(time.Microsecond))
-	return nil
+	b.SetMetric("gp_99pct_err", v)
+	b.SetMetric("gp_elapsed_ms", float64(gpElapsed)/float64(time.Millisecond))
+	b.SetMetric("clusters_k", float64(res.K))
+	return rt.WriteManifest(b)
 }

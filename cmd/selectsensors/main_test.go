@@ -6,8 +6,20 @@ import (
 	"testing"
 	"time"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 )
+
+func testRuntime(t *testing.T) *cliutil.Runtime {
+	t.Helper()
+	c := &cliutil.Common{LogLevel: "error"}
+	rt, err := c.Start("selectsensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
 
 func writeTestCSV(t *testing.T) string {
 	t.Helper()
@@ -37,7 +49,7 @@ func writeTestCSV(t *testing.T) string {
 func TestRunComparesMethods(t *testing.T) {
 	csv := writeTestCSV(t)
 	for _, mode := range []string{"fast", "lazy", "naive"} {
-		if err := run(csv, 2, 3, 6, 21, mode); err != nil {
+		if err := run(testRuntime(t), csv, 2, 3, 6, 21, mode); err != nil {
 			t.Fatalf("run (-gp %s): %v", mode, err)
 		}
 	}
@@ -45,16 +57,16 @@ func TestRunComparesMethods(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	csv := writeTestCSV(t)
-	if err := run("", 2, 3, 6, 21, "fast"); err == nil {
+	if err := run(testRuntime(t), "", 2, 3, 6, 21, "fast"); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(csv, 2, 0, 6, 21, "fast"); err == nil {
+	if err := run(testRuntime(t), csv, 2, 0, 6, 21, "fast"); err == nil {
 		t.Error("zero seeds accepted")
 	}
-	if err := run(csv, 2, 3, 6, 21, "bogus"); err == nil {
+	if err := run(testRuntime(t), csv, 2, 3, 6, 21, "bogus"); err == nil {
 		t.Error("unknown -gp mode accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.csv"), 2, 3, 6, 21, "fast"); err == nil {
+	if err := run(testRuntime(t), filepath.Join(t.TempDir(), "nope.csv"), 2, 3, 6, 21, "fast"); err == nil {
 		t.Error("missing file accepted")
 	}
 }

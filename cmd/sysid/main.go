@@ -14,10 +14,10 @@ import (
 	"os"
 	"time"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 	"auditherm/internal/mat"
 	"auditherm/internal/obs"
-	"auditherm/internal/par"
 	"auditherm/internal/stats"
 	"auditherm/internal/sysid"
 )
@@ -30,29 +30,21 @@ func main() {
 	savePath := flag.String("save", "", "write the identified model as JSON to this path")
 	onHour := flag.Int("on", 6, "HVAC on hour")
 	offHour := flag.Int("off", 21, "HVAC off hour")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (\":0\" picks a port)")
-	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this path on completion")
-	parallelism := flag.Int("parallelism", par.DefaultWorkers(), "worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
+	common := cliutil.Register()
 	flag.Parse()
-	par.SetDefaultWorkers(*parallelism)
 
-	if *metricsAddr != "" {
-		ms, err := obs.ServeMetrics(*metricsAddr, obs.Default)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sysid:", err)
-			os.Exit(1)
-		}
-		defer ms.Close()
-		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	rt, err := common.Start("sysid")
+	if err != nil {
+		cliutil.Fatal(nil, "sysid", err)
 	}
+	defer rt.Close()
 
-	if err := run(*in, *order, *modeName, *horizon, *onHour, *offHour, *savePath, *manifestPath); err != nil {
-		fmt.Fprintln(os.Stderr, "sysid:", err)
-		os.Exit(1)
+	if err := run(rt, *in, *order, *modeName, *horizon, *onHour, *offHour, *savePath); err != nil {
+		cliutil.Fatal(rt, "sysid", err)
 	}
 }
 
-func run(in string, orderN int, modeName string, horizon time.Duration, onHour, offHour int, savePath, manifestPath string) error {
+func run(rt *cliutil.Runtime, in string, orderN int, modeName string, horizon time.Duration, onHour, offHour int, savePath string) error {
 	if in == "" {
 		return fmt.Errorf("missing -i dataset.csv")
 	}
@@ -75,7 +67,7 @@ func run(in string, orderN int, modeName string, horizon time.Duration, onHour, 
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
 
-	b := obs.NewManifest("sysid")
+	b := rt.NewManifest()
 	b.SetConfig(map[string]string{
 		"input":   in,
 		"order":   fmt.Sprint(orderN),
@@ -160,13 +152,9 @@ func run(in string, orderN int, modeName string, horizon time.Duration, onHour, 
 		}
 		fmt.Printf("model written to %s\n", savePath)
 	}
-	if manifestPath != "" {
+	if rt.ManifestRequested() {
 		b.StageCount("fit", "fits", obs.Default.CounterValue("auditherm_sysid_fits_total"))
 		b.StageCount("evaluate", "evaluations", obs.Default.CounterValue("auditherm_sysid_evaluations_total"))
-		if err := b.WriteFile(manifestPath); err != nil {
-			return fmt.Errorf("writing manifest: %w", err)
-		}
-		fmt.Printf("manifest written to %s\n", manifestPath)
 	}
-	return nil
+	return rt.WriteManifest(b)
 }

@@ -6,9 +6,26 @@ import (
 	"testing"
 	"time"
 
+	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 	"auditherm/internal/sysid"
 )
+
+func testRuntime(t *testing.T, c *cliutil.Common) *cliutil.Runtime {
+	t.Helper()
+	if c == nil {
+		c = &cliutil.Common{}
+	}
+	if c.LogLevel == "" {
+		c.LogLevel = "error"
+	}
+	rt, err := c.Start("sysid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
 
 // writeTestCSV generates a short gap-light dataset for CLI tests.
 func writeTestCSV(t *testing.T) string {
@@ -40,7 +57,8 @@ func TestRunIdentifiesAndSaves(t *testing.T) {
 	csv := writeTestCSV(t)
 	model := filepath.Join(filepath.Dir(csv), "model.json")
 	manifest := filepath.Join(filepath.Dir(csv), "manifest.json")
-	if err := run(csv, 2, "occupied", 5*time.Hour, 6, 21, model, manifest); err != nil {
+	rt := testRuntime(t, &cliutil.Common{Manifest: manifest})
+	if err := run(rt, csv, 2, "occupied", 5*time.Hour, 6, 21, model); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(manifest); err != nil {
@@ -65,16 +83,16 @@ func TestRunIdentifiesAndSaves(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	csv := writeTestCSV(t)
-	if err := run("", 2, "occupied", time.Hour, 6, 21, "", ""); err == nil {
+	if err := run(testRuntime(t, nil), "", 2, "occupied", time.Hour, 6, 21, ""); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(csv, 3, "occupied", time.Hour, 6, 21, "", ""); err == nil {
+	if err := run(testRuntime(t, nil), csv, 3, "occupied", time.Hour, 6, 21, ""); err == nil {
 		t.Error("order 3 accepted")
 	}
-	if err := run(csv, 1, "weekend", time.Hour, 6, 21, "", ""); err == nil {
+	if err := run(testRuntime(t, nil), csv, 1, "weekend", time.Hour, 6, 21, ""); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 1, "occupied", time.Hour, 6, 21, "", ""); err == nil {
+	if err := run(testRuntime(t, nil), filepath.Join(t.TempDir(), "missing.csv"), 1, "occupied", time.Hour, 6, 21, ""); err == nil {
 		t.Error("missing file accepted")
 	}
 }

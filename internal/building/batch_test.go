@@ -1,0 +1,50 @@
+package building
+
+import (
+	"testing"
+)
+
+// TestTemperaturesAtMatchesScalar pins the batch helper to the scalar
+// path and its buffer-reuse contract.
+func TestTemperaturesAtMatchesScalar(t *testing.T) {
+	s, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []Point{
+		{X: 1, Y: 1},
+		{X: RoomDepth / 2, Y: RoomWidth / 2},
+		{X: RoomDepth - 0.5, Y: RoomWidth - 0.5},
+		{X: 0, Y: 0}, // wall clamp
+	}
+
+	// Allocating form (dst nil).
+	got := s.TemperaturesAt(ps, nil)
+	if len(got) != len(ps) {
+		t.Fatalf("result length %d, want %d", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := s.TemperatureAt(p); got[i] != want {
+			t.Errorf("point %d: batch %v, scalar %v", i, got[i], want)
+		}
+	}
+
+	// Reuse form: matching dst is filled in place, no allocation.
+	dst := make([]float64, len(ps))
+	allocs := testing.AllocsPerRun(200, func() {
+		out := s.TemperaturesAt(ps, dst)
+		if &out[0] != &dst[0] {
+			t.Fatal("matching dst not reused")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("TemperaturesAt with matching dst allocates %v per run, want 0", allocs)
+	}
+
+	// Wrong-length dst is replaced, not written short.
+	short := make([]float64, 1)
+	out := s.TemperaturesAt(ps, short)
+	if len(out) != len(ps) {
+		t.Errorf("short-dst result length %d, want %d", len(out), len(ps))
+	}
+}

@@ -558,6 +558,20 @@ func (s *Simulator) TemperatureAt(p Point) float64 {
 	return (1-tx)*((1-ty)*t00+ty*t01) + tx*((1-ty)*t10+ty*t11)
 }
 
+// TemperaturesAt evaluates TemperatureAt for every point in ps,
+// writing into dst when it has matching length (zero-alloc for hot
+// monitoring loops that sample the truth field every control step) and
+// allocating otherwise. It returns the filled slice.
+func (s *Simulator) TemperaturesAt(ps []Point, dst []float64) []float64 {
+	if len(dst) != len(ps) {
+		dst = make([]float64, len(ps))
+	}
+	for i, p := range ps {
+		dst[i] = s.TemperatureAt(p)
+	}
+	return dst
+}
+
 // MeanTemp returns the average cell temperature (the return-air
 // temperature seen by the plant).
 func (s *Simulator) MeanTemp() float64 {

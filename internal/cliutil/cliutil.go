@@ -1,0 +1,207 @@
+// Package cliutil centralizes the flag plumbing shared by every CLI in
+// cmd/: the observability trio (-metrics-addr, -manifest,
+// -parallelism) that used to be pasted into each main, plus the
+// model-health flags added with the monitoring subsystem (-monitor,
+// -alert-log, -log-level).
+//
+// Usage pattern in a main:
+//
+//	common := cliutil.Register()          // before tool-specific flags
+//	flag.Parse()
+//	rt, err := common.Start("mytool")     // applies and starts everything
+//	...
+//	defer rt.Close()
+//
+// Start returns a Runtime carrying the run ID, a structured logger, the
+// optional metrics server, and manifest helpers, so each tool gets
+// identical semantics for the shared surface.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+
+	"auditherm/internal/monitor"
+	"auditherm/internal/obs"
+	"auditherm/internal/par"
+)
+
+// Common holds the values of the shared flags after flag.Parse.
+type Common struct {
+	MetricsAddr string
+	Manifest    string
+	Parallelism int
+	Monitor     bool
+	AlertLog    string
+	LogLevel    string
+
+	// LogWriter overrides the structured-log destination (default
+	// os.Stderr). Not a flag; tests capture logs through it.
+	LogWriter io.Writer
+}
+
+// RegisterOn installs the shared flags on an explicit FlagSet, with
+// their values landing in c. Tests use this to avoid the process-wide
+// flag.CommandLine.
+func RegisterOn(fs *flag.FlagSet, c *Common) {
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "",
+		"serve /metrics, /debug/vars, /debug/pprof, /healthz and /readyz on this address while running (\":0\" picks a port)")
+	fs.StringVar(&c.Manifest, "manifest", "",
+		"write a JSON run manifest to this path on completion")
+	fs.IntVar(&c.Parallelism, "parallelism", par.DefaultWorkers(),
+		"worker count for the deterministic parallel kernels (<= 0 selects GOMAXPROCS); results are bit-identical at any value")
+	fs.BoolVar(&c.Monitor, "monitor", false,
+		"enable online model-health monitoring where the tool supports it")
+	fs.StringVar(&c.AlertLog, "alert-log", "",
+		"append model-health alarms and state transitions to this JSONL journal")
+	fs.StringVar(&c.LogLevel, "log-level", "info",
+		"structured log level: debug, info, warn or error")
+}
+
+// Register installs the shared flags on the process-wide
+// flag.CommandLine and returns the backing struct.
+func Register() *Common {
+	c := &Common{}
+	RegisterOn(flag.CommandLine, c)
+	return c
+}
+
+// Runtime is the started shared environment of one CLI run.
+type Runtime struct {
+	// Tool is the CLI name (used as the manifest tool and log attr).
+	Tool string
+	// RunID correlates log records, journal entries and the manifest.
+	RunID string
+	// Log is the run's structured logger (JSON to stderr).
+	Log *slog.Logger
+	// Metrics is the HTTP server, or nil when -metrics-addr is unset.
+	Metrics *obs.MetricsServer
+
+	common  *Common
+	journal *monitor.Journal
+}
+
+// Start applies the parsed shared flags: sets the parallel worker
+// count, builds the run ID and logger, and starts the metrics server
+// when requested. Call flag.Parse first.
+func (c *Common) Start(tool string) (*Runtime, error) {
+	level, err := obs.ParseLevel(c.LogLevel)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", tool, err)
+	}
+	par.SetDefaultWorkers(c.Parallelism)
+	rt := &Runtime{
+		Tool:   tool,
+		RunID:  obs.NewRunID(),
+		common: c,
+	}
+	logw := io.Writer(os.Stderr)
+	if c.LogWriter != nil {
+		logw = c.LogWriter
+	}
+	rt.Log = obs.NewLogger(logw, level, rt.RunID).With(slog.String("tool", tool))
+	if c.MetricsAddr != "" {
+		ms, err := obs.ServeMetrics(c.MetricsAddr, obs.Default)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tool, err)
+		}
+		rt.Metrics = ms
+		fmt.Printf("metrics: %s/metrics\n", ms.URL())
+	}
+	return rt, nil
+}
+
+// MonitorEnabled reports whether -monitor was passed.
+func (rt *Runtime) MonitorEnabled() bool { return rt.common.Monitor }
+
+// Journal returns the alert journal, opening it on first use, or
+// (nil, nil) when -alert-log is unset.
+func (rt *Runtime) Journal() (*monitor.Journal, error) {
+	if rt.common.AlertLog == "" {
+		return nil, nil
+	}
+	if rt.journal == nil {
+		j, err := monitor.OpenJournal(rt.common.AlertLog, rt.RunID)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rt.Tool, err)
+		}
+		rt.journal = j
+	}
+	return rt.journal, nil
+}
+
+// AttachMonitor wires a model-health monitor into the run's shared
+// surface: the structured logger, the alert journal (when requested),
+// and a "monitor" readiness check on /readyz (when serving metrics).
+func (rt *Runtime) AttachMonitor(m *monitor.Monitor) error {
+	m.SetLogger(rt.Log)
+	j, err := rt.Journal()
+	if err != nil {
+		return err
+	}
+	if j != nil {
+		m.SetJournal(j)
+	}
+	if rt.Metrics != nil {
+		rt.Metrics.AddReadiness("monitor", m.Readiness)
+	}
+	return nil
+}
+
+// NewManifest starts a manifest builder pre-seeded with the run's
+// correlation fields (run ID, alert-journal path).
+func (rt *Runtime) NewManifest() *obs.ManifestBuilder {
+	b := obs.NewManifest(rt.Tool)
+	b.SetRunID(rt.RunID)
+	if rt.common.AlertLog != "" {
+		b.SetAlertLog(rt.common.AlertLog)
+	}
+	return b
+}
+
+// WriteManifest writes the manifest to the -manifest path if one was
+// given (and prints where), else does nothing.
+func (rt *Runtime) WriteManifest(b *obs.ManifestBuilder) error {
+	if rt.common.Manifest == "" {
+		return nil
+	}
+	if err := b.WriteFile(rt.common.Manifest); err != nil {
+		return fmt.Errorf("writing manifest: %w", err)
+	}
+	fmt.Printf("manifest written to %s\n", rt.common.Manifest)
+	return nil
+}
+
+// ManifestRequested reports whether -manifest was passed (some tools
+// only compute expensive summary metrics when it was).
+func (rt *Runtime) ManifestRequested() bool { return rt.common.Manifest != "" }
+
+// Close flushes and releases the run's resources: the alert journal
+// and the metrics server (graceful drain).
+func (rt *Runtime) Close() {
+	if rt.journal != nil {
+		if err := rt.journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: closing alert journal: %v\n", rt.Tool, err)
+		}
+		rt.journal = nil
+	}
+	if rt.Metrics != nil {
+		_ = rt.Metrics.Close()
+		rt.Metrics = nil
+	}
+}
+
+// Fatal prints the error in the CLI's standard format and exits 1. It
+// runs the Runtime cleanup first so journals flush and the metrics
+// server drains. Safe to call with rt == nil (before Start succeeds).
+func Fatal(rt *Runtime, tool string, err error) {
+	if rt != nil {
+		rt.Close()
+		tool = rt.Tool
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

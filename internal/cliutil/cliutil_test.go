@@ -1,0 +1,137 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"auditherm/internal/monitor"
+	"auditherm/internal/obs"
+)
+
+func TestRegisterOnInstallsSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var c Common
+	RegisterOn(fs, &c)
+	for _, name := range []string{
+		"metrics-addr", "manifest", "parallelism", "monitor", "alert-log", "log-level",
+	} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse([]string{
+		"-manifest", "m.json", "-monitor", "-alert-log", "a.jsonl", "-log-level", "warn",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Manifest != "m.json" || !c.Monitor || c.AlertLog != "a.jsonl" || c.LogLevel != "warn" {
+		t.Errorf("parsed Common = %+v", c)
+	}
+}
+
+func TestStartRejectsBadLogLevel(t *testing.T) {
+	c := &Common{LogLevel: "chatty"}
+	if _, err := c.Start("x"); err == nil {
+		t.Error("bad log level accepted")
+	}
+}
+
+func TestRuntimeSharedSurface(t *testing.T) {
+	dir := t.TempDir()
+	alertPath := filepath.Join(dir, "alerts.jsonl")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	var logBuf bytes.Buffer
+	c := &Common{
+		Manifest:  manifestPath,
+		Monitor:   true,
+		AlertLog:  alertPath,
+		LogLevel:  "info",
+		LogWriter: &logBuf,
+	}
+	rt, err := c.Start("tooltest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	if rt.RunID == "" {
+		t.Error("empty run ID")
+	}
+	if !rt.MonitorEnabled() {
+		t.Error("MonitorEnabled false with -monitor set")
+	}
+	if !rt.ManifestRequested() {
+		t.Error("ManifestRequested false with -manifest set")
+	}
+
+	// Journal is lazy and cached.
+	j1, err := rt.Journal()
+	if err != nil || j1 == nil {
+		t.Fatalf("Journal() = %v, %v", j1, err)
+	}
+	j2, _ := rt.Journal()
+	if j1 != j2 {
+		t.Error("Journal() not cached")
+	}
+
+	// AttachMonitor wires logger and journal; an alarm then lands in
+	// both with this run's ID.
+	m, err := monitor.New([]string{"s0"}, monitor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AttachMonitor(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manifest is pre-seeded with the correlation fields.
+	b := rt.NewManifest()
+	if err := rt.WriteManifest(b); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := obs.ReadManifestFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Tool != "tooltest" {
+		t.Errorf("manifest tool %q", mf.Tool)
+	}
+	if mf.RunID != rt.RunID {
+		t.Errorf("manifest run_id %q, want %q", mf.RunID, rt.RunID)
+	}
+	if mf.AlertLog != alertPath {
+		t.Errorf("manifest alert_log %q, want %q", mf.AlertLog, alertPath)
+	}
+
+	// Logger carries the run ID and tool attrs.
+	rt.Log.Info("hello")
+	logs := logBuf.String()
+	if !strings.Contains(logs, rt.RunID) || !strings.Contains(logs, `"tool":"tooltest"`) {
+		t.Errorf("log record missing correlation attrs: %s", logs)
+	}
+
+	// Close is idempotent.
+	rt.Close()
+	rt.Close()
+}
+
+func TestWriteManifestNoopWithoutPath(t *testing.T) {
+	c := &Common{LogLevel: "error"}
+	rt, err := c.Start("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.ManifestRequested() {
+		t.Error("ManifestRequested true without -manifest")
+	}
+	if err := rt.WriteManifest(rt.NewManifest()); err != nil {
+		t.Errorf("WriteManifest without path: %v", err)
+	}
+	if j, err := rt.Journal(); j != nil || err != nil {
+		t.Errorf("Journal() without -alert-log = %v, %v", j, err)
+	}
+}

@@ -1,0 +1,86 @@
+package control
+
+import (
+	"fmt"
+
+	"auditherm/internal/sysid"
+)
+
+// OneStepPredictor supplies the model-side prediction stream for
+// online health monitoring in RunLoop: at every decision step it first
+// absorbs the sensed temperatures (Observe), then — after the
+// controller has issued its command — predicts the temperatures the
+// sensors should read at the NEXT decision step (Predict). The loop
+// compares that prediction against the next step's sensed values and
+// feeds the residual to the model-health monitor.
+type OneStepPredictor interface {
+	// Observe absorbs the sensed temperatures at the current decision
+	// step. The slice must not be retained.
+	Observe(temps []float64) error
+	// Predict returns the predicted sensor temperatures one decision
+	// step ahead, given the current observation context and the command
+	// that will hold over the interval. The returned slice may be
+	// reused by the predictor; callers copy to retain.
+	Predict(obs Observation, cmd Command) ([]float64, error)
+	// Ready reports whether Predict is defined (priming observations
+	// absorbed).
+	Ready() bool
+}
+
+// ModelPredictor adapts a fitted sysid model to the loop's
+// OneStepPredictor: it replays the identified dynamics online over the
+// sensed temperatures, building the model input vector
+// [VAV flows..., occupants, lights, ambient] from the loop's
+// observation and command (the same convention MPC uses).
+//
+// The model's sample step must equal the loop's DecisionStep for the
+// one-step-ahead comparison to be meaningful; RunLoop does not check
+// this (the model carries no timebase), so wire it correctly.
+type ModelPredictor struct {
+	pr      *sysid.Predictor
+	numVAVs int
+	u       []float64
+}
+
+var _ OneStepPredictor = (*ModelPredictor)(nil)
+
+// NewModelPredictor wraps a fitted model whose inputs follow the
+// [VAV flows..., occ, light, ambient] convention.
+func NewModelPredictor(m *sysid.Model, numVAVs int) (*ModelPredictor, error) {
+	if numVAVs <= 0 {
+		return nil, fmt.Errorf("control: model predictor NumVAVs %d: %w", numVAVs, ErrBadConfig)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("control: model predictor needs a model: %w", ErrBadConfig)
+	}
+	if m.NumInputs() != numVAVs+3 {
+		return nil, fmt.Errorf("control: model has %d inputs, want %d VAV flows + occ/light/ambient: %w",
+			m.NumInputs(), numVAVs, ErrBadConfig)
+	}
+	pr, err := sysid.NewPredictor(m)
+	if err != nil {
+		return nil, fmt.Errorf("control: model predictor: %w", err)
+	}
+	return &ModelPredictor{pr: pr, numVAVs: numVAVs, u: make([]float64, m.NumInputs())}, nil
+}
+
+// Observe implements OneStepPredictor.
+func (mp *ModelPredictor) Observe(temps []float64) error { return mp.pr.Observe(temps) }
+
+// Ready implements OneStepPredictor.
+func (mp *ModelPredictor) Ready() bool { return mp.pr.Ready() }
+
+// Predict implements OneStepPredictor.
+func (mp *ModelPredictor) Predict(obs Observation, cmd Command) ([]float64, error) {
+	for v := 0; v < mp.numVAVs; v++ {
+		mp.u[v] = cmd.FlowPerVAV
+	}
+	mp.u[mp.numVAVs] = obs.Occupants
+	light := 0.0
+	if obs.LightsOn {
+		light = 1
+	}
+	mp.u[mp.numVAVs+1] = light
+	mp.u[mp.numVAVs+2] = obs.Ambient
+	return mp.pr.Predict(mp.u)
+}

@@ -1,0 +1,194 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/monitor"
+	"auditherm/internal/sysid"
+)
+
+// loopMonitorConfig shortens the monitor's horizons so a two-day loop
+// exercises warm-up, detection and escalation.
+func loopMonitorConfig() monitor.Config {
+	cfg := monitor.DefaultConfig()
+	cfg.Windows = []int{4, 16}
+	cfg.Warmup = 24 // 6 h of 15-min decisions
+	cfg.MinStd = 0.02
+	cfg.MinDwell = 2
+	cfg.FaultyAfter = 4
+	cfg.RecoverAfter = 6
+	return cfg
+}
+
+// TestLoopHealthDetectsStaleSensor is the wiring test for the
+// ground-truth residual path: a Sense layer freezes sensor 0 during a
+// fault window (a stale-hold outage) and the attached monitor must
+// alarm on that sensor — and only that sensor.
+func TestLoopHealthDetectsStaleSensor(t *testing.T) {
+	cfg := loopConfig(t, 2)
+	nSensors := len(cfg.SensorPositions)
+	names := make([]string, nSensors)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	m, err := monitor.New(names, loopMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze sensor 0 at its reading from the fault onset: Tuesday
+	// 10:00-13:00, well past warm-up and inside occupied hours where
+	// the true temperature moves.
+	faultStart := cfg.Start.Add(24*time.Hour + 10*time.Hour)
+	faultEnd := faultStart.Add(3 * time.Hour)
+	var held float64
+	haveHeld := false
+	sensed := make([]float64, nSensors)
+	cfg.Sense = func(tm time.Time, truth []float64) []float64 {
+		copy(sensed, truth)
+		if !tm.Before(faultStart) && tm.Before(faultEnd) {
+			if !haveHeld {
+				held = truth[0]
+				haveHeld = true
+			}
+			sensed[0] = held
+		}
+		return sensed
+	}
+	cfg.Health = m
+
+	if _, err := RunLoop(cfg, DefaultDeadband()); err != nil {
+		t.Fatal(err)
+	}
+
+	wantUpdates := int64(cfg.Days * 24 * 4) // one per 15-min decision
+	snaps := m.Snapshot()
+	for i, s := range snaps {
+		if s.Updates != wantUpdates {
+			t.Errorf("sensor %d saw %d updates, want %d", i, s.Updates, wantUpdates)
+		}
+		if i == 0 {
+			if s.Alarms == 0 {
+				t.Error("frozen sensor raised no alarms")
+			}
+		} else if s.Alarms != 0 {
+			t.Errorf("healthy sensor %d raised %d alarms", i, s.Alarms)
+		}
+	}
+	// The fault escalated past Healthy on sensor 0 at some point.
+	if snaps[0].State == monitor.Healthy && snaps[0].AlarmStreak == 0 && snaps[0].Alarms == 0 {
+		t.Error("frozen sensor never left Healthy")
+	}
+}
+
+func TestLoopHealthMonitorSizeMismatch(t *testing.T) {
+	cfg := loopConfig(t, 1)
+	m, err := monitor.New([]string{"only-one"}, loopMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Health = m
+	if _, err := RunLoop(cfg, DefaultDeadband()); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+// loopModel builds a stable diagonal model over p sensors with the
+// [VAV flows..., occ, light, ambient] input convention.
+func loopModel(p, numVAVs int) *sysid.Model {
+	a := mat.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		a.Set(i, i, 0.97)
+	}
+	b := mat.NewDense(p, numVAVs+3)
+	for i := 0; i < p; i++ {
+		b.Set(i, numVAVs+2, 0.02) // small ambient coupling
+	}
+	return &sysid.Model{Order: sysid.FirstOrder, A: a, B: b}
+}
+
+func TestNewModelPredictorValidation(t *testing.T) {
+	if _, err := NewModelPredictor(nil, 4); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil model: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewModelPredictor(loopModel(2, 4), 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero VAVs: err = %v, want ErrBadConfig", err)
+	}
+	// Input-count mismatch: model built for 4 VAVs, predictor told 2.
+	if _, err := NewModelPredictor(loopModel(2, 4), 2); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("input mismatch: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestModelPredictorInputAssembly pins the input-vector convention
+// against a hand computation.
+func TestModelPredictorInputAssembly(t *testing.T) {
+	model := loopModel(2, 3)
+	mp, err := NewModelPredictor(model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Ready() {
+		t.Error("ready before priming")
+	}
+	temps := []float64{21, 22}
+	if err := mp.Observe(temps); err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{Occupants: 50, LightsOn: true, Ambient: 30}
+	cmd := Command{FlowPerVAV: 0.4}
+	got, err := mp.Predict(obs, cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []float64{0.4, 0.4, 0.4, 50, 1, 30}
+	want, err := model.Predict(temps, nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("prediction[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLoopPredictorFeedsMonitor exercises the model-replay residual
+// path end to end: the first decision step only primes the predictor,
+// every later one delivers a residual.
+func TestLoopPredictorFeedsMonitor(t *testing.T) {
+	cfg := loopConfig(t, 1)
+	p := len(cfg.SensorPositions)
+	names := make([]string, p)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	mcfg := loopMonitorConfig()
+	// The toy model is nothing like the building, so residuals are
+	// biased; this test checks plumbing, not calibration. Loosen the
+	// detectors so the run completes without churn mattering.
+	mcfg.CUSUM.Threshold = 1e9
+	mcfg.PageHinkley.Lambda = 1e9
+	m, err := monitor.New(names, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := NewModelPredictor(loopModel(p, cfg.NumVAVs), cfg.NumVAVs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Health = m
+	cfg.Predictor = mp
+	if _, err := RunLoop(cfg, DefaultDeadband()); err != nil {
+		t.Fatal(err)
+	}
+	wantUpdates := int64(cfg.Days*24*4) - 1 // first decision only primes
+	for i, s := range m.Snapshot() {
+		if s.Updates != wantUpdates {
+			t.Errorf("sensor %d saw %d updates, want %d", i, s.Updates, wantUpdates)
+		}
+	}
+}

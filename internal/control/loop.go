@@ -8,6 +8,7 @@ import (
 	"auditherm/internal/building"
 	"auditherm/internal/comfort"
 	"auditherm/internal/hvac"
+	"auditherm/internal/monitor"
 	"auditherm/internal/occupancy"
 	"auditherm/internal/timeseries"
 	"auditherm/internal/weather"
@@ -37,6 +38,25 @@ type LoopConfig struct {
 	Setpoint float64
 	// NumVAVs converts the per-VAV command to total flow.
 	NumVAVs int
+
+	// Sense, when set, transforms the ground-truth temperatures at
+	// SensorPositions into what the controller actually reads — e.g. a
+	// sensornet replay with stale-hold and outage windows. It is called
+	// once per decision step; the returned slice must have the same
+	// length (it may alias truth). nil means perfect sensing.
+	Sense func(t time.Time, truth []float64) []float64
+	// Health, when set, receives a (prediction, sensed) pair per sensor
+	// at every decision step: the model-health monitor's residual
+	// stream. The monitor must have exactly len(SensorPositions)
+	// sensors, in position order. With a Predictor attached the
+	// prediction is the model's one-step-ahead replay; without one it
+	// is the simulator's ground truth at the same instant, so the
+	// residual isolates the sensing chain (stale holds, outages,
+	// calibration drift).
+	Health *monitor.Monitor
+	// Predictor supplies the model-side prediction stream for Health
+	// (see OneStepPredictor). Ignored when Health is nil.
+	Predictor OneStepPredictor
 }
 
 // LoopResult aggregates a closed-loop run.
@@ -76,6 +96,12 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 	if cfg.NumVAVs <= 0 {
 		return nil, fmt.Errorf("control: loop NumVAVs %d: %w", cfg.NumVAVs, ErrBadConfig)
 	}
+	if cfg.Health != nil {
+		if n := len(cfg.Health.SensorNames()); n != len(cfg.SensorPositions) {
+			return nil, fmt.Errorf("control: health monitor has %d sensors for %d positions: %w",
+				n, len(cfg.SensorPositions), ErrBadConfig)
+		}
+	}
 	sim, err := building.NewSimulator(cfg.Building)
 	if err != nil {
 		return nil, err
@@ -102,6 +128,12 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 	var cmd Command
 	nextDecision := cfg.Start
 	nSteps := int(end.Sub(cfg.Start) / cfg.SimStep)
+	// Health-monitoring state: truth/pred buffers reused every decision
+	// step; predValid marks a prediction made at the previous decision
+	// step awaiting its comparison.
+	truthBuf := make([]float64, len(cfg.SensorPositions))
+	predBuf := make([]float64, len(cfg.SensorPositions))
+	predValid := false
 	for k := 0; k < nSteps; k++ {
 		t := cfg.Start.Add(time.Duration(k) * cfg.SimStep)
 		amb, ok := ambient.InterpAt(t)
@@ -112,19 +144,60 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 		lights := occ > 0
 
 		if !t.Before(nextDecision) {
+			truth := sim.TemperaturesAt(cfg.SensorPositions, truthBuf)
+			sensed := truth
+			if cfg.Sense != nil {
+				sensed = cfg.Sense(t, truth)
+				if len(sensed) != len(cfg.SensorPositions) {
+					return nil, fmt.Errorf("control: Sense returned %d readings for %d sensors: %w",
+						len(sensed), len(cfg.SensorPositions), ErrBadConfig)
+				}
+			}
+			// Feed the health monitor BEFORE the controller acts: the
+			// residual pairs this step's prediction (made one decision
+			// step ago, or ground truth when no model is attached) with
+			// what the sensing chain reports now.
+			if cfg.Health != nil {
+				if cfg.Predictor != nil {
+					if predValid {
+						for i := range sensed {
+							cfg.Health.UpdateAt(i, predBuf[i], sensed[i], t)
+						}
+					}
+				} else {
+					for i := range sensed {
+						cfg.Health.UpdateAt(i, truth[i], sensed[i], t)
+					}
+				}
+			}
+			if cfg.Predictor != nil {
+				if err := cfg.Predictor.Observe(sensed); err != nil {
+					return nil, fmt.Errorf("control: predictor observe at %v: %w", t, err)
+				}
+			}
 			obs := Observation{
 				Time:        t,
-				SensorTemps: make([]float64, len(cfg.SensorPositions)),
+				SensorTemps: append([]float64(nil), sensed...),
 				Occupants:   float64(occ),
 				LightsOn:    lights,
 				Ambient:     amb,
 			}
-			for i, p := range cfg.SensorPositions {
-				obs.SensorTemps[i] = sim.TemperatureAt(p)
-			}
 			cmd, err = ctrl.Decide(obs)
 			if err != nil {
 				return nil, fmt.Errorf("control: %s decision at %v: %w", ctrl.Name(), t, err)
+			}
+			// Predict the NEXT decision step's readings under the command
+			// that will hold over the interval.
+			if cfg.Predictor != nil {
+				predValid = false
+				if cfg.Predictor.Ready() {
+					pred, err := cfg.Predictor.Predict(obs, cmd)
+					if err != nil {
+						return nil, fmt.Errorf("control: predictor at %v: %w", t, err)
+					}
+					copy(predBuf, pred)
+					predValid = true
+				}
 			}
 			loopDecisionsTotal.Inc()
 			nextDecision = nextDecision.Add(cfg.DecisionStep)

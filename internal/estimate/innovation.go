@@ -1,0 +1,53 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"auditherm/internal/monitor"
+)
+
+// Innovations returns the innovations (z - H x_pred, one per
+// ObservedRows entry, in that order) from the most recent measurement
+// update. Entries are NaN for observed rows that had no measurement in
+// that update, and the whole vector is NaN after a prediction-only
+// step (z == nil) or before the first update. The returned slice is a
+// copy.
+//
+// The innovation is the filter's own one-step-ahead residual: the
+// measured temperature minus what the fused model expected. It is the
+// second residual source the model-health monitor consumes — unlike
+// the raw model replay it discounts modeled dynamics already explained
+// by past measurements, so it fires on sensor faults rather than on
+// honest model bias.
+func (f *Filter) Innovations() []float64 {
+	out := make([]float64, len(f.lastInnov))
+	copy(out, f.lastInnov)
+	return out
+}
+
+// SetHealth attaches a model-health monitor fed on every measurement
+// update: for observed row ObservedRows[i] the monitor sensor
+// sensorIdx[i] receives (predicted measurement, measurement) — i.e.
+// the innovation stream. Pass m == nil to detach.
+func (f *Filter) SetHealth(m *monitor.Monitor, sensorIdx []int) error {
+	if m == nil {
+		f.health = nil
+		f.healthIdx = nil
+		return nil
+	}
+	if len(sensorIdx) != len(f.cfg.ObservedRows) {
+		return fmt.Errorf("estimate: %d monitor sensors for %d observed rows: %w",
+			len(sensorIdx), len(f.cfg.ObservedRows), ErrBadConfig)
+	}
+	f.health = m
+	f.healthIdx = append([]int(nil), sensorIdx...)
+	return nil
+}
+
+// clearInnovations marks every innovation slot undefined.
+func (f *Filter) clearInnovations() {
+	for i := range f.lastInnov {
+		f.lastInnov[i] = math.NaN()
+	}
+}

@@ -1,0 +1,124 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"auditherm/internal/mat"
+	"auditherm/internal/monitor"
+	"auditherm/internal/sysid"
+)
+
+func innovTestModel() *sysid.Model {
+	a := mat.NewDense(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 0.9)
+	}
+	a.Set(0, 1, 0.05)
+	b := mat.NewDense(3, 1)
+	b.Set(0, 0, 0.1)
+	b.Set(1, 0, 0.05)
+	return &sysid.Model{Order: sysid.FirstOrder, A: a, B: b}
+}
+
+// TestInnovationsMatchHandComputed pins the innovation definition:
+// z - H x_pred, recorded per observed row, NaN after prediction-only
+// steps and before the first update.
+func TestInnovationsMatchHandComputed(t *testing.T) {
+	cfg := Config{
+		Model:        innovTestModel(),
+		ObservedRows: []int{0, 2},
+		ProcessVar:   0.01,
+		MeasureVar:   0.25,
+	}
+	init := []float64{20, 21, 22}
+	f, err := NewFilter(cfg, init, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.Innovations() {
+		if !math.IsNaN(v) {
+			t.Fatalf("innovation defined before any update: %v", f.Innovations())
+		}
+	}
+
+	u := []float64{0.5}
+	// Hand-compute the predicted measurement before stepping.
+	xPred := cfg.Model.A.MulVec(init)
+	mat.Axpy(1, cfg.Model.B.MulVec(u), xPred)
+	z := []float64{xPred[0] + 0.7, xPred[2] - 0.3}
+	if err := f.Step(u, z); err != nil {
+		t.Fatal(err)
+	}
+	innov := f.Innovations()
+	if len(innov) != 2 {
+		t.Fatalf("innovation length %d, want 2", len(innov))
+	}
+	if math.Abs(innov[0]-0.7) > 1e-9 || math.Abs(innov[1]-(-0.3)) > 1e-9 {
+		t.Errorf("innovations %v, want [0.7 -0.3]", innov)
+	}
+	// The copy is isolated from filter internals.
+	innov[0] = 99
+	if f.Innovations()[0] == 99 {
+		t.Error("Innovations returns an aliased slice")
+	}
+
+	// Prediction-only step clears the innovation record.
+	if err := f.Step(u, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.Innovations() {
+		if !math.IsNaN(v) {
+			t.Errorf("innovation defined after prediction-only step: %v", f.Innovations())
+		}
+	}
+}
+
+// TestFilterFeedsMonitor verifies the SetHealth hook: every measurement
+// update forwards (predicted measurement, measurement) per observed row
+// to the mapped monitor sensor.
+func TestFilterFeedsMonitor(t *testing.T) {
+	cfg := Config{
+		Model:        innovTestModel(),
+		ObservedRows: []int{0, 2},
+		ProcessVar:   0.01,
+		MeasureVar:   0.25,
+	}
+	f, err := NewFilter(cfg, []float64{20, 21, 22}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := monitor.New([]string{"innov-0", "innov-2"}, monitor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetHealth(m, []int{0}); err == nil {
+		t.Error("sensor-index length mismatch accepted")
+	}
+	if err := f.SetHealth(m, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	const steps = 25
+	u := []float64{0.5}
+	for k := 0; k < steps; k++ {
+		z := []float64{20 + 0.1*float64(k), 22 - 0.1*float64(k)}
+		if err := f.Step(u, z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, snap := range m.Snapshot() {
+		if snap.Updates != steps {
+			t.Errorf("monitor sensor %d saw %d updates, want %d", i, snap.Updates, steps)
+		}
+	}
+	// Detach: no further updates flow.
+	if err := f.SetHealth(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Step(u, []float64{20, 22}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot()[0].Updates; got != steps {
+		t.Errorf("detached monitor still updated: %d updates", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"auditherm/internal/mat"
+	"auditherm/internal/monitor"
 	"auditherm/internal/sysid"
 )
 
@@ -45,6 +46,17 @@ type Filter struct {
 	h   *mat.Dense // measurement matrix: len(observed) x n
 	x   []float64
 	cov *mat.Dense
+
+	// rowPos maps a model output row to its position in ObservedRows.
+	rowPos map[int]int
+	// lastInnov holds the innovations from the latest measurement
+	// update, aligned with ObservedRows; NaN where undefined.
+	lastInnov []float64
+	// health, when set, receives (predicted measurement, measurement)
+	// per observed row on every update; healthIdx maps ObservedRows
+	// positions to monitor sensor indices.
+	health    *monitor.Monitor
+	healthIdx []int
 }
 
 // NewFilter validates cfg and initializes the state at init (length p,
@@ -112,7 +124,17 @@ func NewFilter(cfg Config, init []float64, priorVar float64) (*Filter, error) {
 	for i := 0; i < n; i++ {
 		cov.Set(i, i, priorVar)
 	}
-	return &Filter{cfg: cfg, p: p, n: n, f: f, g: g, h: h, x: x, cov: cov}, nil
+	rowPos := make(map[int]int, len(cfg.ObservedRows))
+	for i, r := range cfg.ObservedRows {
+		rowPos[r] = i
+	}
+	flt := &Filter{
+		cfg: cfg, p: p, n: n, f: f, g: g, h: h, x: x, cov: cov,
+		rowPos:    rowPos,
+		lastInnov: make([]float64, len(cfg.ObservedRows)),
+	}
+	flt.clearInnovations()
+	return flt, nil
 }
 
 // Step advances one model step: predict with the inputs u, then update
@@ -143,6 +165,8 @@ func (f *Filter) Step(u, z []float64) error {
 	}
 	f.x, f.cov = x, cov
 	if z == nil {
+		// Prediction-only step: there is no innovation this step.
+		f.clearInnovations()
 		return nil
 	}
 	return f.update(f.cfg.ObservedRows, z)

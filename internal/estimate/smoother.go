@@ -151,8 +151,16 @@ func (f *Filter) update(rows []int, z []float64) error {
 	}
 	k := ph.Mul(sInv)
 	innov := make([]float64, len(z))
+	f.clearInnovations()
 	for i := range z {
-		innov[i] = z[i] - mat.Dot(h.RawRow(i), f.x)
+		zhat := mat.Dot(h.RawRow(i), f.x)
+		innov[i] = z[i] - zhat
+		if pos, ok := f.rowPos[rows[i]]; ok {
+			f.lastInnov[pos] = innov[i]
+			if f.health != nil {
+				f.health.Update(f.healthIdx[pos], zhat, z[i])
+			}
+		}
 	}
 	mat.Axpy(1, k.MulVec(innov), f.x)
 	kh := k.Mul(h)

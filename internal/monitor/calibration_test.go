@@ -1,0 +1,216 @@
+package monitor
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"auditherm/internal/par"
+)
+
+// Detector calibration suite: synthetic residual streams with known
+// change points, asserting bounded detection delay and a ceiling on
+// the false-positive rate of the null stream. The streams use the
+// DefaultConfig thresholds, so a threshold retune that breaks the
+// paper-scale operating point fails here first.
+
+const calNoise = 0.1 // residual noise std (degC), ~the paper's sensor accuracy
+
+// stream feeds residuals r(k) for k in [0, n) into a fresh single-
+// sensor monitor and returns (alarm episodes, update index of the
+// first alarm edge or -1, final monitor).
+func stream(t *testing.T, cfg Config, n int, r func(k int) float64) (episodes int64, firstAlarm int, m *Monitor) {
+	t.Helper()
+	m = mustMonitor(t, []string{"s"}, cfg)
+	firstAlarm = -1
+	k := 0
+	m.SetOnAlarm(func(a Alarm) {
+		if a.Kind == "alarm" && firstAlarm < 0 {
+			firstAlarm = k
+		}
+	})
+	for k = 0; k < n; k++ {
+		m.UpdateAt(0, 0, r(k), simStart.Add(time.Duration(k)*10*time.Minute))
+	}
+	return m.Snapshot()[0].Alarms, firstAlarm, m
+}
+
+// TestNullStreamFalsePositiveCeiling bounds the false-alarm rate on a
+// pure-noise stream: across 5 seeds x 20k updates (about 0.7M seconds
+// of 10-minute steps each), at most one alarm episode total.
+func TestNullStreamFalsePositiveCeiling(t *testing.T) {
+	const steps = 20000
+	var total int64
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ep, _, m := stream(t, DefaultConfig(), steps, func(int) float64 {
+			return rng.NormFloat64() * calNoise
+		})
+		total += ep
+		if st := m.StateOf(0); st == Faulty {
+			t.Errorf("seed %d: null stream reached faulty", seed)
+		}
+	}
+	if total > 1 {
+		t.Errorf("null stream false alarms: %d episodes over 100k updates, ceiling is 1", total)
+	}
+}
+
+// TestStepShiftDetectionDelay asserts a large sensor fault (5-sigma
+// mean shift, e.g. a stale-held reading while the room drifts) is
+// detected within 5 updates, and a subtle 1.5-sigma shift within 25.
+func TestStepShiftDetectionDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, tc := range []struct {
+		name     string
+		shift    float64 // in units of calNoise sigma
+		maxDelay int
+	}{
+		{"large 5-sigma", 5, 5},
+		{"subtle 1.5-sigma", 1.5, 25},
+	} {
+		rng := rand.New(rand.NewSource(11))
+		onset := cfg.Warmup + 200
+		_, first, _ := stream(t, cfg, onset+100, func(k int) float64 {
+			r := rng.NormFloat64() * calNoise
+			if k >= onset {
+				r += tc.shift * calNoise
+			}
+			return r
+		})
+		if first < onset {
+			t.Errorf("%s: alarmed at %d, before onset %d", tc.name, first, onset)
+			continue
+		}
+		if first < 0 || first-onset > tc.maxDelay {
+			t.Errorf("%s: detection delay %d (first=%d), bound %d", tc.name, first-onset, first, tc.maxDelay)
+		}
+	}
+}
+
+// TestSlowRampDetection asserts a slow drift (0.05 sigma per update,
+// i.e. a half-sigma of drift per 10 updates — a miscalibrating sensor)
+// is caught within 60 updates of ramp onset.
+func TestSlowRampDetection(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(13))
+	onset := cfg.Warmup + 200
+	_, first, _ := stream(t, cfg, onset+200, func(k int) float64 {
+		r := rng.NormFloat64() * calNoise
+		if k >= onset {
+			r += 0.05 * calNoise * float64(k-onset)
+		}
+		return r
+	})
+	if first < onset {
+		t.Fatalf("alarmed at %d, before ramp onset %d", first, onset)
+	}
+	if first < 0 || first-onset > 60 {
+		t.Errorf("ramp detection delay %d, bound 60", first-onset)
+	}
+}
+
+// TestVarianceBurstDetection asserts a 4x noise-variance burst (a
+// failing ADC or radio) alarms within 100 updates of onset.
+func TestVarianceBurstDetection(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(17))
+	onset := cfg.Warmup + 200
+	_, first, _ := stream(t, cfg, onset+200, func(k int) float64 {
+		s := calNoise
+		if k >= onset {
+			s = 4 * calNoise
+		}
+		return rng.NormFloat64() * s
+	})
+	if first < onset {
+		t.Fatalf("alarmed at %d, before burst onset %d", first, onset)
+	}
+	if first < 0 || first-onset > 100 {
+		t.Errorf("variance-burst detection delay %d, bound 100", first-onset)
+	}
+}
+
+// TestDeterminismAcrossWorkers fans per-sensor residual streams over
+// the par worker pool at 1/3/8 workers and requires bit-identical
+// monitor snapshots: sensor state is independent, so worker count must
+// not change any statistic, detector value, or health state.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	const sensors = 24
+	const steps = 3000
+	names := make([]string, sensors)
+	for i := range names {
+		names[i] = "s" + string(rune('A'+i))
+	}
+	run := func(workers int) []SensorSnapshot {
+		m := mustMonitor(t, names, DefaultConfig())
+		err := par.ForEach(context.Background(), workers, sensors, func(i int) error {
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			onset := 1000 + 37*i
+			for k := 0; k < steps; k++ {
+				r := rng.NormFloat64() * calNoise
+				if i%3 == 0 && k >= onset {
+					r += 0.4 // fault a third of the sensors mid-stream
+				}
+				m.UpdateAt(i, 0, r, simStart.Add(time.Duration(k)*10*time.Minute))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return m.Snapshot()
+	}
+	ref := run(1)
+	for _, w := range []int{3, 8} {
+		got := run(w)
+		for i := range ref {
+			if !snapshotsBitIdentical(ref[i], got[i]) {
+				t.Errorf("workers=%d sensor %d: snapshot differs\n ref: %+v\n got: %+v", w, i, ref[i], got[i])
+			}
+		}
+	}
+	// Sanity: the faulted sensors actually alarmed, so the comparison
+	// covered non-trivial state.
+	var alarmed int
+	for i := range ref {
+		if ref[i].Alarms > 0 {
+			alarmed++
+		}
+	}
+	if alarmed != sensors/3 {
+		t.Errorf("%d sensors alarmed, want %d", alarmed, sensors/3)
+	}
+}
+
+// snapshotsBitIdentical compares two snapshots with float fields
+// compared by bits (NaN-safe, rounding-exact).
+func snapshotsBitIdentical(a, b SensorSnapshot) bool {
+	fb := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if a.Name != b.Name || a.State != b.State || a.Updates != b.Updates ||
+		a.Alarms != b.Alarms || a.Warm != b.Warm ||
+		a.AlarmStreak != b.AlarmStreak || a.QuietStreak != b.QuietStreak {
+		return false
+	}
+	for _, pair := range [][2]float64{
+		{a.Mu0, b.Mu0}, {a.Sigma0, b.Sigma0}, {a.LastZ, b.LastZ},
+		{a.CUSUMPos, b.CUSUMPos}, {a.CUSUMNeg, b.CUSUMNeg},
+		{a.EWMABias, b.EWMABias}, {a.EWMAAbs, b.EWMAAbs},
+	} {
+		if !fb(pair[0], pair[1]) {
+			return false
+		}
+	}
+	if !reflect.DeepEqual(len(a.WindowRMSE), len(b.WindowRMSE)) {
+		return false
+	}
+	for i := range a.WindowRMSE {
+		if !fb(a.WindowRMSE[i], b.WindowRMSE[i]) || !fb(a.WindowBias[i], b.WindowBias[i]) || !fb(a.WindowMAE[i], b.WindowMAE[i]) {
+			return false
+		}
+	}
+	return true
+}

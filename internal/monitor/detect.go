@@ -1,0 +1,125 @@
+package monitor
+
+// Change detectors over the standardized residual stream. Both operate
+// on z = (r - mu0) / sigma0 where (mu0, sigma0) is the warm-up
+// baseline, so their thresholds are in sigma units and transfer across
+// sensors with different noise floors.
+
+// CUSUMConfig parameterizes the two-sided cumulative-sum detector.
+type CUSUMConfig struct {
+	// Drift is the per-step allowance k (sigma units): shifts smaller
+	// than Drift are absorbed, larger ones accumulate. Typical 0.5.
+	Drift float64
+	// Threshold is the alarm level h (sigma units) on the cumulative
+	// statistic. Typical 5-10; larger means slower but fewer false
+	// alarms.
+	Threshold float64
+	// Ceiling caps the cumulative statistic at Ceiling*Threshold so a
+	// long-lived shift cannot push recovery time unboundedly far out;
+	// a statistic pinned at the ceiling counts as saturated. Typical 4.
+	Ceiling float64
+}
+
+// DefaultCUSUM returns the calibrated defaults (k=0.5σ, h=14σ, cap
+// 4h). With Gaussian noise the in-control ARL per side is ~1e6
+// updates (Siegmund's approximation), so a 98-day 10-minute trace
+// (~14k updates) sees essentially no false alarms, while a 5σ shift
+// is still detected in ~h/(5-k) ≈ 4 updates.
+func DefaultCUSUM() CUSUMConfig { return CUSUMConfig{Drift: 0.5, Threshold: 14, Ceiling: 4} }
+
+// cusum is a two-sided CUSUM: sPos accumulates positive shifts, sNeg
+// negative ones. It does not self-reset: while the shift persists the
+// statistic stays above threshold (a sustained alarm), and when the
+// stream returns to baseline the statistic decays by Drift per step.
+type cusum struct {
+	cfg        CUSUMConfig
+	sPos, sNeg float64
+}
+
+// step consumes one standardized residual and reports whether each
+// side is alarming.
+func (c *cusum) step(z float64) (pos, neg bool) {
+	cap_ := c.cfg.Ceiling * c.cfg.Threshold
+	c.sPos += z - c.cfg.Drift
+	if c.sPos < 0 {
+		c.sPos = 0
+	} else if cap_ > 0 && c.sPos > cap_ {
+		c.sPos = cap_
+	}
+	c.sNeg += -z - c.cfg.Drift
+	if c.sNeg < 0 {
+		c.sNeg = 0
+	} else if cap_ > 0 && c.sNeg > cap_ {
+		c.sNeg = cap_
+	}
+	return c.sPos > c.cfg.Threshold, c.sNeg > c.cfg.Threshold
+}
+
+// saturated reports whether either side is pinned at the ceiling — the
+// detector can no longer distinguish "bad" from "worse", which /readyz
+// surfaces as not-ready.
+func (c *cusum) saturated() bool {
+	cap_ := c.cfg.Ceiling * c.cfg.Threshold
+	return cap_ > 0 && (c.sPos >= cap_ || c.sNeg >= cap_)
+}
+
+func (c *cusum) reset() { c.sPos, c.sNeg = 0, 0 }
+
+// PHConfig parameterizes the two-sided Page-Hinkley detector.
+type PHConfig struct {
+	// Delta is the magnitude tolerance (sigma units) subtracted each
+	// step; drifts below Delta never alarm. The textbook 0.05 value is
+	// far too small for standardized residuals — the statistic becomes
+	// a near-driftless random walk whose range crosses any practical
+	// lambda within a few hundred steps. 0.3 keeps the null ARL high.
+	Delta float64
+	// Lambda is the alarm threshold (sigma units) on the deviation
+	// statistic.
+	Lambda float64
+}
+
+// DefaultPH returns the calibrated defaults (delta=0.3σ, lambda=25σ):
+// null ARL > 1e6 updates per side while a 5σ step still trips in
+// ~lambda/(5-delta) ≈ 6 updates.
+func DefaultPH() PHConfig { return PHConfig{Delta: 0.3, Lambda: 25} }
+
+// pageHinkley is a two-sided Page-Hinkley test: it tracks the running
+// mean of the standardized residual and alarms when the cumulative
+// deviation from it exceeds Lambda. Unlike CUSUM, the statistic is
+// reset on alarm, so Page-Hinkley emits pulses at change points (fast
+// ramp detection) while CUSUM carries the sustained alarm.
+type pageHinkley struct {
+	cfg  PHConfig
+	n    int64
+	mean float64
+	mPos float64 // cumulative (z - mean - delta), for increases
+	mNeg float64 // cumulative (mean - z - delta), for decreases
+	minP float64
+	minN float64
+}
+
+// step consumes one standardized residual and reports whether either
+// side alarms; the statistic resets after each alarm.
+func (p *pageHinkley) step(z float64) (pos, neg bool) {
+	p.n++
+	p.mean += (z - p.mean) / float64(p.n)
+	p.mPos += z - p.mean - p.cfg.Delta
+	p.mNeg += p.mean - z - p.cfg.Delta
+	if p.mPos < p.minP {
+		p.minP = p.mPos
+	}
+	if p.mNeg < p.minN {
+		p.minN = p.mNeg
+	}
+	pos = p.mPos-p.minP > p.cfg.Lambda
+	neg = p.mNeg-p.minN > p.cfg.Lambda
+	if pos || neg {
+		p.reset()
+	}
+	return pos, neg
+}
+
+func (p *pageHinkley) reset() {
+	p.n, p.mean = 0, 0
+	p.mPos, p.mNeg, p.minP, p.minN = 0, 0, 0, 0
+}

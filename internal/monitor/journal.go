@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Journal is an append-only JSONL alert journal: one JSON object per
+// line, flushed on every append so a crash loses at most the entry
+// being written. The file is opened O_APPEND, so concurrent runs
+// interleave whole lines rather than corrupting each other.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	runID string
+	wrote int64
+}
+
+// journalEntry is the serialized form: the alarm plus run correlation.
+type journalEntry struct {
+	Alarm
+	RunID   string    `json:"run_id,omitempty"`
+	WallTS  time.Time `json:"wall_ts"`
+	Ordinal int64     `json:"ordinal"`
+}
+
+// OpenJournal opens (creating if needed) the append-only journal at
+// path. runID is stamped on every entry for correlation with slog
+// records and the run manifest.
+func OpenJournal(path, runID string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: open journal %s: %w", path, err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), runID: runID}, nil
+}
+
+// Append writes one alarm as a JSON line and flushes it. Errors are
+// counted on auditherm_monitor_journal_errors_total rather than
+// propagated: a full disk must not take down the control loop.
+func (j *Journal) Append(a Alarm) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.wrote++
+	e := journalEntry{Alarm: a, RunID: j.runID, WallTS: time.Now().UTC(), Ordinal: j.wrote}
+	data, err := json.Marshal(e)
+	if err == nil {
+		_, err = j.w.Write(append(data, '\n'))
+	}
+	if err == nil {
+		err = j.w.Flush()
+	}
+	if err != nil {
+		journalErrorsTotal.Inc()
+		return
+	}
+	journalEntriesTotal.Inc()
+}
+
+// Entries returns the number of entries appended by this process.
+func (j *Journal) Entries() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wrote
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	j.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// ReadJournal parses a JSONL journal file back into entries; used by
+// tests and offline alarm/fault reconciliation.
+func ReadJournal(path string) ([]JournalEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []JournalEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("monitor: journal %s line %d: %w", path, line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// JournalEntry is the parsed form of one journal line.
+type JournalEntry struct {
+	Time     time.Time `json:"ts"`
+	Kind     string    `json:"kind"`
+	Sensor   string    `json:"sensor"`
+	Detector string    `json:"detector,omitempty"`
+	From     string    `json:"from,omitempty"`
+	To       string    `json:"to,omitempty"`
+	Residual float64   `json:"residual"`
+	Z        float64   `json:"z"`
+	Update   int64     `json:"update"`
+	RunID    string    `json:"run_id,omitempty"`
+	WallTS   time.Time `json:"wall_ts"`
+	Ordinal  int64     `json:"ordinal"`
+}

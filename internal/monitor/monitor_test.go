@@ -1,0 +1,319 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"auditherm/internal/obs"
+)
+
+var simStart = time.Date(2013, time.March, 4, 0, 0, 0, 0, time.UTC)
+
+// fastConfig is a small-dwell config so state-machine tests run in a
+// handful of updates.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Windows = []int{4, 16}
+	cfg.Warmup = 8
+	cfg.MinDwell = 2
+	cfg.FaultyAfter = 4
+	cfg.RecoverAfter = 6
+	return cfg
+}
+
+func mustMonitor(t *testing.T, names []string, cfg Config) *Monitor {
+	t.Helper()
+	m, err := New(names, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no windows", func(c *Config) { c.Windows = nil }},
+		{"zero window", func(c *Config) { c.Windows = []int{0} }},
+		{"alpha 0", func(c *Config) { c.EWMAAlpha = 0 }},
+		{"alpha > 1", func(c *Config) { c.EWMAAlpha = 1.5 }},
+		{"warmup 1", func(c *Config) { c.Warmup = 1 }},
+		{"cusum threshold 0", func(c *Config) { c.CUSUM.Threshold = 0 }},
+		{"ph lambda 0", func(c *Config) { c.PageHinkley.Lambda = 0 }},
+		{"faulty-after 0", func(c *Config) { c.FaultyAfter = 0 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		c.mutate(&cfg)
+		if _, err := New([]string{"s1"}, cfg); err == nil {
+			t.Errorf("%s: config accepted", c.name)
+		}
+	}
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("empty sensor set accepted")
+	}
+	if _, err := New([]string{"a", "a"}, DefaultConfig()); err == nil {
+		t.Error("duplicate sensor names accepted")
+	}
+	if _, err := New([]string{""}, DefaultConfig()); err == nil {
+		t.Error("empty sensor name accepted")
+	}
+}
+
+// TestWindowStatsAgainstBruteForce cross-checks the O(1) ring-buffer
+// statistics against direct recomputation, across the wrap boundary.
+func TestWindowStatsAgainstBruteForce(t *testing.T) {
+	const window = 7
+	w := newWindowStats(window)
+	rng := rand.New(rand.NewSource(3))
+	var hist []float64
+	for k := 0; k < 200; k++ {
+		r := rng.NormFloat64() * 2
+		w.push(r)
+		hist = append(hist, r)
+		lo := len(hist) - window
+		if lo < 0 {
+			lo = 0
+		}
+		var sum, sumAbs, sumSq float64
+		for _, v := range hist[lo:] {
+			sum += v
+			sumAbs += math.Abs(v)
+			sumSq += v * v
+		}
+		n := float64(len(hist) - lo)
+		if got, want := w.Bias(), sum/n; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("step %d: bias %v want %v", k, got, want)
+		}
+		if got, want := w.MAE(), sumAbs/n; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("step %d: MAE %v want %v", k, got, want)
+		}
+		if got, want := w.RMSE(), math.Sqrt(sumSq/n); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("step %d: RMSE %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestWindowStatsEmpty(t *testing.T) {
+	w := newWindowStats(5)
+	if !math.IsNaN(w.Bias()) || !math.IsNaN(w.MAE()) || !math.IsNaN(w.RMSE()) {
+		t.Error("empty window stats should be NaN")
+	}
+}
+
+// feed pushes n residuals r(k) into sensor 0 and returns the final
+// state.
+func feed(m *Monitor, n int, r func(k int) float64) State {
+	st := Healthy
+	for k := 0; k < n; k++ {
+		st = m.UpdateAt(0, 0, r(k), simStart.Add(time.Duration(k)*10*time.Minute))
+	}
+	return st
+}
+
+// TestStateMachineLifecycle drives one sensor through the full
+// healthy → degraded → faulty → recovered → healthy arc.
+func TestStateMachineLifecycle(t *testing.T) {
+	cfg := fastConfig()
+	m := mustMonitor(t, []string{"s1"}, cfg)
+	rng := rand.New(rand.NewSource(7))
+	noise := func(int) float64 { return rng.NormFloat64() * 0.05 }
+
+	// Warm-up + quiet: stays healthy.
+	if st := feed(m, cfg.Warmup+20, noise); st != Healthy {
+		t.Fatalf("after quiet stream: state %v, want healthy", st)
+	}
+	// Large sustained shift: degraded, then faulty.
+	sawDegraded := false
+	var st State
+	for k := 0; k < 40; k++ {
+		st = m.UpdateAt(0, 0, 1.0+rng.NormFloat64()*0.05, simStart)
+		if st == Degraded {
+			sawDegraded = true
+		}
+		if st == Faulty {
+			break
+		}
+	}
+	if !sawDegraded {
+		t.Error("never saw degraded on the way to faulty")
+	}
+	if st != Faulty {
+		t.Fatalf("after sustained shift: state %v, want faulty", st)
+	}
+	// Shift removed: CUSUM decays, then quiet streak → recovered → healthy.
+	for k := 0; k < 400 && m.StateOf(0) != Healthy; k++ {
+		m.UpdateAt(0, 0, noise(k), simStart)
+	}
+	if got := m.StateOf(0); got != Healthy {
+		t.Fatalf("after recovery stream: state %v, want healthy", got)
+	}
+	// The path back must have passed through Recovered: check journal
+	// via transitions counter (>= 4 transitions for the full arc).
+	if v := obs.Default.CounterValue("auditherm_monitor_transitions_total"); v < 4 {
+		t.Errorf("transitions counter %d, want >= 4", v)
+	}
+}
+
+func TestNonFiniteResidualAlarms(t *testing.T) {
+	cfg := fastConfig()
+	m := mustMonitor(t, []string{"s1"}, cfg)
+	feed(m, cfg.Warmup+4, func(int) float64 { return 0.01 })
+	st := m.UpdateAt(0, 0, math.NaN(), simStart)
+	if st != Degraded {
+		t.Fatalf("NaN residual: state %v, want degraded", st)
+	}
+	// Statistics must not be poisoned.
+	snap := m.Snapshot()[0]
+	for _, v := range snap.WindowRMSE {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("window RMSE poisoned: %v", v)
+		}
+	}
+}
+
+func TestVerdictAndReadiness(t *testing.T) {
+	cfg := fastConfig()
+	m := mustMonitor(t, []string{"a", "b"}, cfg)
+	if err := m.Readiness(); err == nil {
+		t.Error("readiness nil before warm-up")
+	} else if !strings.Contains(err.Error(), "warming up") {
+		t.Errorf("warm-up readiness error = %v", err)
+	}
+	for i := range []int{0, 1} {
+		for k := 0; k < cfg.Warmup+2; k++ {
+			m.UpdateAt(i, 0, 0.01*float64(k%3), simStart)
+		}
+	}
+	if err := m.Readiness(); err != nil {
+		t.Errorf("readiness after warm-up: %v", err)
+	}
+	worst, per := m.Verdict()
+	if worst != Healthy || per[Healthy] != 2 {
+		t.Errorf("verdict %v %v, want healthy x2", worst, per)
+	}
+	// Fault one sensor: verdict follows the worst.
+	for k := 0; k < 60; k++ {
+		m.UpdateAt(1, 0, 2.0, simStart)
+	}
+	worst, per = m.Verdict()
+	if worst != Faulty || per[Faulty] != 1 {
+		t.Errorf("verdict after fault: %v %v", worst, per)
+	}
+	// A saturated CUSUM (pinned at ceiling by the huge persistent
+	// shift) must fail readiness.
+	if err := m.Readiness(); err == nil {
+		t.Error("readiness nil with saturated detector")
+	} else if !strings.Contains(err.Error(), "saturated") {
+		t.Errorf("saturation readiness error = %v", err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alerts.jsonl")
+	j, err := OpenJournal(path, "run-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	m := mustMonitor(t, []string{"s1"}, cfg)
+	m.SetJournal(j)
+	feed(m, cfg.Warmup+4, func(int) float64 { return 0.01 })
+	for k := 0; k < 20; k++ {
+		m.UpdateAt(0, 0, 1.5, simStart.Add(time.Duration(k)*10*time.Minute))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no journal entries written")
+	}
+	if int64(len(entries)) != j.Entries() {
+		t.Errorf("read %d entries, journal counted %d", len(entries), j.Entries())
+	}
+	var sawAlarm, sawTransition bool
+	for i, e := range entries {
+		if e.RunID != "run-42" {
+			t.Errorf("entry %d run_id %q", i, e.RunID)
+		}
+		if e.Sensor != "s1" {
+			t.Errorf("entry %d sensor %q", i, e.Sensor)
+		}
+		if e.Ordinal != int64(i+1) {
+			t.Errorf("entry %d ordinal %d", i, e.Ordinal)
+		}
+		switch e.Kind {
+		case "alarm":
+			sawAlarm = true
+		case "transition":
+			sawTransition = true
+			if e.From == "" || e.To == "" {
+				t.Errorf("transition entry missing states: %+v", e)
+			}
+		}
+	}
+	if !sawAlarm || !sawTransition {
+		t.Errorf("journal kinds: alarm=%v transition=%v", sawAlarm, sawTransition)
+	}
+	// Appending to an existing journal must not truncate it.
+	j2, err := OpenJournal(path, "run-43")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Append(Alarm{Kind: "note", Sensor: "s1"})
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(entries)+1 {
+		t.Errorf("append-only violated: %d entries, want %d", len(again), len(entries)+1)
+	}
+}
+
+func TestOnAlarmCallbackAndLogger(t *testing.T) {
+	cfg := fastConfig()
+	m := mustMonitor(t, []string{"s#1"}, cfg) // '#' exercises name sanitization
+	var alarms []Alarm
+	m.SetOnAlarm(func(a Alarm) { alarms = append(alarms, a) })
+	feed(m, cfg.Warmup+4, func(int) float64 { return 0.0 })
+	for k := 0; k < 20; k++ {
+		m.UpdateAt(0, 0, 2.0, simStart)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("no alarms delivered to callback")
+	}
+	if alarms[0].Kind != "alarm" || alarms[0].Sensor != "s#1" {
+		t.Errorf("first alarm %+v", alarms[0])
+	}
+	// Sanitized per-sensor gauge must exist and reflect the state.
+	g := obs.Default.GaugeValue("auditherm_monitor_health_state_s_1")
+	if math.IsNaN(g) || g < float64(Degraded) {
+		t.Errorf("sanitized health gauge = %v", g)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"s1":      "s1",
+		"VAV-2/3": "VAV_2_3",
+		"a b.c":   "a_b_c",
+	} {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package monitor
+
+import "auditherm/internal/obs"
+
+// Model-health instrumentation on the obs Default registry. The
+// update-path series (updates, residual histogram) are single atomic
+// ops; alarm/transition series move only on edges. Per-sensor health
+// and RMSE gauges are registered in New (monitor.go) because their
+// names carry the sensor channel.
+var (
+	updatesTotal = obs.NewCounter("auditherm_monitor_updates_total",
+		"Residual updates consumed across all monitored sensors.")
+	alarmsTotal = obs.NewCounter("auditherm_monitor_alarms_total",
+		"Detector alarm episodes (rising edges) across all sensors.")
+	transitionsTotal = obs.NewCounter("auditherm_monitor_transitions_total",
+		"Health-state transitions across all sensors.")
+	nonFiniteTotal = obs.NewCounter("auditherm_monitor_nonfinite_residuals_total",
+		"Updates whose residual was NaN or Inf (treated as alarms, excluded from statistics).")
+	journalEntriesTotal = obs.NewCounter("auditherm_monitor_journal_entries_total",
+		"Entries appended to the alert journal.")
+	journalErrorsTotal = obs.NewCounter("auditherm_monitor_journal_errors_total",
+		"Alert-journal append failures (entry dropped, run continues).")
+	residualAbs = obs.NewHistogram("auditherm_monitor_residual_abs_degc",
+		"Absolute one-step residual (degC) across all monitored sensors.",
+		[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8})
+	globalHealth = obs.NewGauge("auditherm_monitor_global_health",
+		"Global model-health verdict: worst sensor state (0 healthy, 1 recovered, 2 degraded, 3 faulty).")
+	sensorsTracked = obs.NewGauge("auditherm_monitor_sensors",
+		"Sensors tracked by the model-health monitor.")
+	sensorsHealthy = obs.NewGauge("auditherm_monitor_sensors_healthy",
+		"Sensors currently healthy or recovered.")
+	sensorsDegraded = obs.NewGauge("auditherm_monitor_sensors_degraded",
+		"Sensors currently degraded.")
+	sensorsFaulty = obs.NewGauge("auditherm_monitor_sensors_faulty",
+		"Sensors currently faulty.")
+)

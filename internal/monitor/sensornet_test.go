@@ -1,0 +1,191 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"auditherm/internal/sensornet"
+)
+
+// TestAlarmFaultReconciliation is the labeled-alarm precision/recall
+// cross-check required by the issue: run a sensornet network with
+// injected per-node failure windows (the labels), feed the monitor the
+// (ground truth, last-received reading) pairs the live pipeline would
+// see, and reconcile detector alarms against the labels.
+//
+// During a node failure the store receives nothing, so the pipeline
+// holds the last reading while the room keeps its diurnal swing — the
+// residual grows to several degC and the detectors must fire. Outside
+// the failure windows the residual is calibration offset + read noise
+// + report-threshold quantization, which the warm-up baseline absorbs.
+func TestAlarmFaultReconciliation(t *testing.T) {
+	const (
+		nSensors = 3
+		stepMin  = 10
+		days     = 21
+	)
+	start := time.Date(2013, time.March, 4, 0, 0, 0, 0, time.UTC)
+	steps := days * 24 * 60 / stepMin
+
+	cfg := sensornet.DefaultNodeConfig()
+	cfg.LossProb = 0 // radio losses off: failures are the only label source
+	var nodes []*sensornet.Node
+	names := []string{"s1", "s2", "s3"}
+	for i, name := range names {
+		n, err := sensornet.NewNode(name, cfg, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	store := sensornet.NewStore(nil)
+	net, err := sensornet.NewNetwork(nodes, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels: two multi-hour failures on s2, one on s3, none on s1.
+	faults := map[string][]sensornet.Outage{
+		"s2": {
+			{Start: start.Add(5 * 24 * time.Hour), End: start.Add(5*24*time.Hour + 18*time.Hour)},
+			{Start: start.Add(14 * 24 * time.Hour), End: start.Add(14*24*time.Hour + 12*time.Hour)},
+		},
+		"s3": {
+			{Start: start.Add(9 * 24 * time.Hour), End: start.Add(9*24*time.Hour + 24*time.Hour)},
+		},
+	}
+	for name, w := range faults {
+		if err := net.SetNodeFailures(name, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mcfg := DefaultConfig()
+	// The report-on-change stream is heavier-tailed than Gaussian: near
+	// the diurnal extremes the reading freezes for long stretches and
+	// the residual holds a sustained ~1.5-2σ bias, which a Gaussian-
+	// calibrated CUSUM slowly integrates into marginal false alarms.
+	// Calibrate the thresholds up for this source — fault residuals are
+	// ~40σ here, so detection delay is unaffected.
+	mcfg.CUSUM.Threshold = 22
+	mcfg.PageHinkley.Lambda = 35
+	m := mustMonitor(t, names, mcfg)
+	var alarmTimes []struct {
+		sensor string
+		at     time.Time
+	}
+	m.SetOnAlarm(func(a Alarm) {
+		if a.Kind == "alarm" {
+			alarmTimes = append(alarmTimes, struct {
+				sensor string
+				at     time.Time
+			}{a.Sensor, a.Time})
+		}
+	})
+
+	// truth: shared diurnal swing plus a slow per-sensor offset.
+	truth := func(i, k int) float64 {
+		tod := float64(k*stepMin%1440) / 1440
+		return 22 + 2.5*math.Sin(2*math.Pi*tod) + 0.3*float64(i)
+	}
+	last := make([]float64, nSensors) // last reading received per channel
+	for i := range last {
+		last[i] = truth(i, 0)
+	}
+	truths := make([]float64, nSensors)
+	counts := make([]int, nSensors)
+	for k := 0; k < steps; k++ {
+		at := start.Add(time.Duration(k*stepMin) * time.Minute)
+		for i := range truths {
+			truths[i] = truth(i, k)
+		}
+		if err := net.Sample(at, truths); err != nil {
+			t.Fatal(err)
+		}
+		for i, name := range names {
+			if ser, err := store.Series(name); err == nil && ser.Len() > counts[i] {
+				counts[i] = ser.Len()
+				s, _ := ser.Last()
+				last[i] = s.Value
+			}
+			m.UpdateAt(i, truths[i], last[i], at)
+		}
+	}
+
+	// Reconcile: an alarm is a true positive when it lands inside a
+	// labeled failure window for that sensor or its recovery tail.
+	// The tail is bounded by the CUSUM ceiling decay: a statistic
+	// pinned at Ceiling*Threshold = 56σ decays at Drift = 0.5σ per
+	// 10-minute update, i.e. ~19h; alarms re-triggering inside that
+	// tail are attributable to the labeled fault, not false positives.
+	slack := 24 * time.Hour
+	inFault := func(sensor string, at time.Time) bool {
+		for _, w := range faults[sensor] {
+			if !at.Before(w.Start) && at.Before(w.End.Add(slack)) {
+				return true
+			}
+		}
+		return false
+	}
+	tp, fp := 0, 0
+	hit := map[string]map[int]bool{}
+	for _, a := range alarmTimes {
+		if inFault(a.sensor, a.at) {
+			tp++
+			for wi, w := range faults[a.sensor] {
+				if !a.at.Before(w.Start) && a.at.Before(w.End.Add(slack)) {
+					if hit[a.sensor] == nil {
+						hit[a.sensor] = map[int]bool{}
+					}
+					hit[a.sensor][wi] = true
+				}
+			}
+		} else {
+			fp++
+			t.Logf("false positive: sensor %s alarm at %v (start+%v)", a.sensor, a.at, a.at.Sub(start))
+		}
+	}
+	labeled, recalled := 0, 0
+	var maxDelay time.Duration
+	for name, ws := range faults {
+		for wi, w := range ws {
+			labeled++
+			if hit[name][wi] {
+				recalled++
+				// Detection delay: first alarm inside this window.
+				for _, a := range alarmTimes {
+					if a.sensor == name && !a.at.Before(w.Start) && a.at.Before(w.End.Add(slack)) {
+						if d := a.at.Sub(w.Start); d > maxDelay {
+							maxDelay = d
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	if recalled != labeled {
+		t.Errorf("recall %d/%d labeled fault windows", recalled, labeled)
+	}
+	precision := 1.0
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if precision < 0.8 {
+		t.Errorf("precision %.2f (%d TP, %d FP), floor 0.8", precision, tp, fp)
+	}
+	if maxDelay > 4*time.Hour {
+		t.Errorf("worst detection delay %v, bound 4h", maxDelay)
+	}
+	// The unfaulted sensor must end healthy; the faulted ones must
+	// have left healthy at some point (alarms > 0 checked above via
+	// recall) and recovered by the end of the trace.
+	if st := m.StateOf(0); st != Healthy {
+		t.Errorf("unfaulted sensor s1 ended %v", st)
+	}
+	for _, i := range []int{1, 2} {
+		if st := m.StateOf(i); st == Degraded || st == Faulty {
+			t.Errorf("sensor %s did not recover after faults cleared: %v", names[i], st)
+		}
+	}
+}

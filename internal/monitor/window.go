@@ -1,0 +1,173 @@
+package monitor
+
+import "math"
+
+// windowStats maintains residual statistics (RMSE, bias, MAE) over a
+// fixed trailing window in O(1) time and O(window) memory: a ring
+// buffer of the last `cap(buf)` residuals plus running sums that are
+// updated by adding the entering value and subtracting the evicted
+// one.
+//
+// Floating-point drift: add/subtract running sums accumulate rounding
+// error over very long streams. Every full wrap of the ring the sums
+// are recomputed exactly from the buffered values, which bounds the
+// drift to one window's worth of cancellation error at amortized O(1)
+// cost per update.
+type windowStats struct {
+	buf    []float64
+	next   int   // next write position
+	filled bool  // buffer has wrapped at least once
+	n      int64 // total updates ever
+	sum    float64
+	sumAbs float64
+	sumSq  float64
+}
+
+func newWindowStats(window int) *windowStats {
+	if window < 1 {
+		window = 1
+	}
+	return &windowStats{buf: make([]float64, window)}
+}
+
+// push inserts a residual, evicting the oldest when full.
+func (w *windowStats) push(r float64) {
+	if w.filled {
+		old := w.buf[w.next]
+		w.sum -= old
+		w.sumAbs -= math.Abs(old)
+		w.sumSq -= old * old
+	}
+	w.buf[w.next] = r
+	w.sum += r
+	w.sumAbs += math.Abs(r)
+	w.sumSq += r * r
+	w.next++
+	w.n++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.filled = true
+		w.refresh()
+	}
+}
+
+// refresh recomputes the sums exactly from the buffer contents.
+func (w *windowStats) refresh() {
+	var s, sa, sq float64
+	lim := w.len()
+	for i := 0; i < lim; i++ {
+		v := w.buf[i]
+		s += v
+		sa += math.Abs(v)
+		sq += v * v
+	}
+	w.sum, w.sumAbs, w.sumSq = s, sa, sq
+}
+
+// len returns the number of residuals currently buffered.
+func (w *windowStats) len() int {
+	if w.filled {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Bias returns the mean residual over the window (NaN when empty).
+func (w *windowStats) Bias() float64 {
+	n := w.len()
+	if n == 0 {
+		return math.NaN()
+	}
+	return w.sum / float64(n)
+}
+
+// MAE returns the mean absolute residual over the window (NaN when
+// empty).
+func (w *windowStats) MAE() float64 {
+	n := w.len()
+	if n == 0 {
+		return math.NaN()
+	}
+	return w.sumAbs / float64(n)
+}
+
+// RMSE returns the root-mean-square residual over the window (NaN when
+// empty). The max with 0 guards the subtraction-driven sums against a
+// tiny negative value from rounding.
+func (w *windowStats) RMSE() float64 {
+	n := w.len()
+	if n == 0 {
+		return math.NaN()
+	}
+	ms := w.sumSq / float64(n)
+	if ms < 0 {
+		ms = 0
+	}
+	return math.Sqrt(ms)
+}
+
+// ewma is an exponentially weighted moving average of the residual,
+// its absolute value, and its square — the smoothed error tracks the
+// health dashboard plots.
+type ewma struct {
+	alpha float64
+	n     int64
+	mean  float64
+	absv  float64
+	sq    float64
+}
+
+func newEWMA(alpha float64) *ewma { return &ewma{alpha: alpha} }
+
+func (e *ewma) push(r float64) {
+	if e.n == 0 {
+		e.mean, e.absv, e.sq = r, math.Abs(r), r*r
+	} else {
+		a := e.alpha
+		e.mean += a * (r - e.mean)
+		e.absv += a * (math.Abs(r) - e.absv)
+		e.sq += a * (r*r - e.sq)
+	}
+	e.n++
+}
+
+// Mean returns the smoothed residual (bias track).
+func (e *ewma) Mean() float64 { return e.mean }
+
+// Abs returns the smoothed absolute residual.
+func (e *ewma) Abs() float64 { return e.absv }
+
+// RMS returns the square root of the smoothed squared residual.
+func (e *ewma) RMS() float64 {
+	if e.sq < 0 {
+		return 0
+	}
+	return math.Sqrt(e.sq)
+}
+
+// welford accumulates a streaming mean and variance (Welford's
+// algorithm); it calibrates the residual baseline during warm-up.
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (w *welford) push(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Std returns the sample standard deviation (0 when n < 2).
+func (w *welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	v := w.m2 / float64(w.n-1)
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -2,10 +2,12 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -24,11 +26,78 @@ const (
 )
 
 // MetricsServer serves the registry over HTTP: /metrics (Prometheus
-// text), /debug/vars (expvar-style JSON), and /debug/pprof/*.
+// text), /debug/vars (expvar-style JSON), /debug/pprof/*, plus the
+// probe endpoints /healthz (liveness) and /readyz (readiness over the
+// registered checks).
 type MetricsServer struct {
 	Addr string // actual listen address (resolves ":0")
 	srv  *http.Server
 	ln   net.Listener
+
+	started time.Time
+
+	readyMu sync.Mutex
+	checks  []readinessCheck
+}
+
+type readinessCheck struct {
+	name string
+	fn   func() error
+}
+
+// AddReadiness registers a named readiness check consulted by
+// /readyz: the server reports ready only when every check returns
+// nil. Typical checks: the model-health monitor's warm-up/saturation
+// state. Safe to call while serving.
+func (m *MetricsServer) AddReadiness(name string, fn func() error) {
+	m.readyMu.Lock()
+	defer m.readyMu.Unlock()
+	m.checks = append(m.checks, readinessCheck{name: name, fn: fn})
+}
+
+// healthz is the liveness probe: if the process can run this handler,
+// it is alive. Reports uptime so probes double as a cheap clock.
+func (m *MetricsServer) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%.1f}\n", time.Since(m.started).Seconds())
+}
+
+// readyz is the readiness probe: 200 with per-check status when every
+// registered check passes, 503 naming the failures otherwise.
+func (m *MetricsServer) readyz(w http.ResponseWriter, _ *http.Request) {
+	m.readyMu.Lock()
+	checks := append([]readinessCheck(nil), m.checks...)
+	m.readyMu.Unlock()
+	type result struct {
+		Name  string `json:"name"`
+		Ready bool   `json:"ready"`
+		Error string `json:"error,omitempty"`
+	}
+	results := make([]result, 0, len(checks))
+	ready := true
+	for _, c := range checks {
+		r := result{Name: c.name, Ready: true}
+		if err := c.fn(); err != nil {
+			r.Ready = false
+			r.Error = err.Error()
+			ready = false
+		}
+		results = append(results, r)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	resp := struct {
+		Ready  bool     `json:"ready"`
+		Checks []result `json:"checks"`
+	}{Ready: ready, Checks: results}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		fmt.Fprintf(w, "{\"ready\":%v}\n", ready)
+		return
+	}
+	w.Write(append(data, '\n'))
 }
 
 // ServeMetrics starts a background HTTP server for the registry on
@@ -54,7 +123,8 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ms := &MetricsServer{
-		Addr: ln.Addr().String(),
+		Addr:    ln.Addr().String(),
+		started: time.Now(),
 		srv: &http.Server{
 			Handler:           mux,
 			ReadHeaderTimeout: readHeaderTimeout,
@@ -62,6 +132,17 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 		},
 		ln: ln,
 	}
+	// The registry being attachable is the baseline readiness: it is
+	// always true here, but gives /readyz a non-empty check list even
+	// before a monitor registers.
+	ms.AddReadiness("registry", func() error {
+		if r == nil {
+			return fmt.Errorf("no metrics registry attached")
+		}
+		return nil
+	})
+	mux.HandleFunc("/healthz", ms.healthz)
+	mux.HandleFunc("/readyz", ms.readyz)
 	go func() { _ = ms.srv.Serve(ln) }()
 	return ms, nil
 }

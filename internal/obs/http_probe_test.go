@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s status %d, want %d; body: %s", url, resp.StatusCode, wantStatus, body)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("GET %s: body not JSON: %v\n%s", url, err, body)
+	}
+	return m
+}
+
+// TestProbeEndpoints covers the liveness/readiness contract: /healthz is
+// always 200 while the process serves; /readyz flips between 200 and 503
+// with the registered checks and names the failing check.
+func TestProbeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	ms, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	h := getJSON(t, ms.URL()+"/healthz", http.StatusOK)
+	if h["status"] != "ok" {
+		t.Errorf("healthz status = %v, want ok", h["status"])
+	}
+	if _, ok := h["uptime_s"].(float64); !ok {
+		t.Errorf("healthz uptime_s missing: %v", h)
+	}
+
+	// Baseline: only the built-in registry check, which passes.
+	rd := getJSON(t, ms.URL()+"/readyz", http.StatusOK)
+	if rd["ready"] != true {
+		t.Errorf("readyz ready = %v, want true", rd["ready"])
+	}
+
+	// A failing named check flips readiness to 503 and surfaces the
+	// name + error.
+	failing := true
+	ms.AddReadiness("warmup", func() error {
+		if failing {
+			return fmt.Errorf("monitor warming up")
+		}
+		return nil
+	})
+	rd = getJSON(t, ms.URL()+"/readyz", http.StatusServiceUnavailable)
+	if rd["ready"] != false {
+		t.Errorf("readyz ready = %v, want false", rd["ready"])
+	}
+	checks, _ := rd["checks"].([]any)
+	found := false
+	for _, c := range checks {
+		cm, _ := c.(map[string]any)
+		if cm["name"] == "warmup" {
+			found = true
+			if cm["ready"] != false || cm["error"] != "monitor warming up" {
+				t.Errorf("warmup check = %v", cm)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("warmup check missing from readyz: %v", rd)
+	}
+
+	// Check recovers -> ready again.
+	failing = false
+	rd = getJSON(t, ms.URL()+"/readyz", http.StatusOK)
+	if rd["ready"] != true {
+		t.Errorf("readyz after recovery = %v, want ready", rd["ready"])
+	}
+}

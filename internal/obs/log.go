@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging for the pipeline: a slog JSON handler that stamps
+// every record with the run ID and, when the logging context carries
+// an obs span, the span's name and ID — so a log line, a journal
+// entry, a manifest, and a span report from the same run all join on
+// run_id/span_id.
+
+// NewRunID returns a fresh 16-hex-char run identifier. CLIs generate
+// one at startup and thread it through logger, manifest, and alert
+// journal.
+func NewRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a fixed marker rather than propagate an error for an ID.
+		return "run-norand"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ParseLevel maps a CLI -log-level value (debug, info, warn, error;
+// case-insensitive) to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+	}
+}
+
+// spanHandler decorates an inner slog.Handler with span correlation:
+// records logged with a context carrying an obs span gain span and
+// span_id attributes.
+type spanHandler struct {
+	inner slog.Handler
+}
+
+// Enabled implements slog.Handler.
+func (h spanHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+// Handle implements slog.Handler.
+func (h spanHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if ctx != nil {
+		if sp := SpanFromContext(ctx); sp != nil {
+			rec = rec.Clone()
+			rec.AddAttrs(slog.String("span", sp.Name), slog.String("span_id", sp.ID()))
+		}
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler.
+func (h spanHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return spanHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h spanHandler) WithGroup(name string) slog.Handler {
+	return spanHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the pipeline's structured logger: JSON lines to w
+// at the given level, every record carrying run_id, and span/span_id
+// added automatically when logging with a span-carrying context.
+func NewLogger(w io.Writer, level slog.Level, runID string) *slog.Logger {
+	jh := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(spanHandler{inner: jh}).With(slog.String("run_id", runID))
+}

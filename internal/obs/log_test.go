@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewRunID(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("run IDs %q %q, want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Errorf("run IDs collide: %q", a)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"":      slog.LevelInfo,
+		"Info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+// TestLoggerRunAndSpanCorrelation verifies every record carries the
+// run ID and that logging under a span-carrying context adds
+// span/span_id — the correlation contract between slog records, span
+// reports, and alert journals.
+func TestLoggerRunAndSpanCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo, "run-abc")
+
+	log.Info("plain")
+	ctx, sp := StartSpan(context.Background(), "fit")
+	log.InfoContext(ctx, "under span", slog.Int("k", 7))
+	sp.End()
+	log.Debug("suppressed") // below level: must not appear
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var plain, spanned map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &spanned); err != nil {
+		t.Fatal(err)
+	}
+	if plain["run_id"] != "run-abc" || spanned["run_id"] != "run-abc" {
+		t.Errorf("run_id missing: %v / %v", plain["run_id"], spanned["run_id"])
+	}
+	if _, has := plain["span"]; has {
+		t.Error("plain record has a span attribute")
+	}
+	if spanned["span"] != "fit" {
+		t.Errorf("span attr = %v, want fit", spanned["span"])
+	}
+	if id, _ := spanned["span_id"].(string); !strings.HasPrefix(id, "sp-") || id != sp.ID() {
+		t.Errorf("span_id attr = %v, want %q", spanned["span_id"], sp.ID())
+	}
+	if spanned["k"] != float64(7) {
+		t.Errorf("user attr lost: %v", spanned["k"])
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	_, a := StartSpan(context.Background(), "a")
+	_, b := StartSpan(context.Background(), "b")
+	defer a.End()
+	defer b.End()
+	if a.ID() == b.ID() || a.ID() == "" {
+		t.Errorf("span IDs %q / %q not unique", a.ID(), b.ID())
+	}
+}

@@ -37,6 +37,13 @@ type RunManifest struct {
 	Hostname    string `json:"hostname,omitempty"`
 	NumCPU      int    `json:"num_cpu"`
 
+	// RunID correlates this manifest with the run's slog records and
+	// alert-journal entries (they all carry the same run_id).
+	RunID string `json:"run_id,omitempty"`
+	// AlertLog is the path of the append-only JSONL alert journal
+	// written during the run, if one was requested.
+	AlertLog string `json:"alert_log,omitempty"`
+
 	Seed       int64             `json:"seed,omitempty"`
 	Config     map[string]string `json:"config,omitempty"`
 	ConfigHash string            `json:"config_hash,omitempty"`
@@ -81,6 +88,13 @@ func NewManifest(tool string) *ManifestBuilder {
 
 // SetSeed records the run's RNG seed.
 func (b *ManifestBuilder) SetSeed(seed int64) { b.m.Seed = seed }
+
+// SetRunID records the run ID correlating the manifest with log
+// records and alert-journal entries.
+func (b *ManifestBuilder) SetRunID(id string) { b.m.RunID = id }
+
+// SetAlertLog records the path of the run's alert journal.
+func (b *ManifestBuilder) SetAlertLog(path string) { b.m.AlertLog = path }
 
 // SetConfig records the effective configuration as a flat string map
 // and derives a deterministic sha256 hash over its sorted key=value

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestQuantileEmptyHistogram pins the defined zero-observation return:
+// NaN, for every q, including the clamped and NaN inputs — not
+// whatever falls out of the bucket walk.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_empty", "", []float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 1, -3, 7, math.NaN()} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("empty histogram Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+	// No finite buckets: observations only land in +Inf, which cannot
+	// resolve a quantile.
+	hb := r.NewHistogram("q_boundless", "", nil)
+	hb.Observe(3)
+	if v := hb.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("boundless histogram Quantile = %v, want NaN", v)
+	}
+}
+
+func TestQuantileNaNInputOnPopulated(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_nan", "", []float64{1, 2})
+	h.Observe(0.5)
+	if v := h.Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", v)
+	}
+	// Clamping still defined on a populated histogram.
+	if v := h.Quantile(-1); math.IsNaN(v) {
+		t.Error("Quantile(-1) NaN on populated histogram")
+	}
+	if v := h.Quantile(2); math.IsNaN(v) {
+		t.Error("Quantile(2) NaN on populated histogram")
+	}
+}
+
+func TestQuantileInfBucketReturnsLargestBound(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_inf", "", []float64{1, 2})
+	h.Observe(100) // lands in +Inf
+	if v := h.Quantile(0.99); v != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want largest finite bound 2", v)
+	}
+}
+
+// TestQuantileConcurrentObserve is the -race regression required by
+// the issue: hammer Observe from many goroutines while querying
+// Quantile. The result at any instant must be a defined value (NaN
+// only before the first observation is visible), and the race
+// detector must stay quiet.
+func TestQuantileConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_conc", "", []float64{0.25, 0.5, 1, 2, 4})
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64((g+i)%5) * 0.6)
+			}
+		}(g)
+	}
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				// Writers are done: the full count is visible, so the
+				// quantile must be defined.
+				if v := h.Quantile(0.9); math.IsNaN(v) {
+					t.Error("quantile NaN after writers finished")
+				}
+				return
+			default:
+			}
+			// Load the count BEFORE the query: the count is monotonic,
+			// so a count visible here is also visible inside Quantile,
+			// and a visible count forces a defined (finite) return.
+			// (Checking after the call would race: the count can become
+			// visible between Quantile's load and the check.)
+			before := h.Count()
+			v := h.Quantile(0.9)
+			if math.IsNaN(v) {
+				if before > 0 {
+					t.Error("Quantile NaN with visible observations")
+					return
+				}
+				continue
+			}
+			if v < 0 || v > 4 {
+				t.Errorf("quantile %v outside bucket range", v)
+				return
+			}
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := h.Count(); got != int64(writers*perG) {
+		t.Errorf("count %d, want %d", got, writers*perG)
+	}
+	if v := h.Quantile(0.5); math.IsNaN(v) {
+		t.Errorf("final quantile NaN after %d observations", writers*perG)
+	}
+}

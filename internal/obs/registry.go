@@ -123,11 +123,23 @@ func (h *Histogram) Sum() float64 { return float64(h.sumµ.Load()) / 1e6 }
 func (h *Histogram) Name() string { return h.name }
 
 // Quantile returns an estimate of the q-quantile (0 <= q <= 1) by
-// linear interpolation within the containing bucket. Returns NaN when
-// the histogram is empty.
+// linear interpolation within the containing bucket.
+//
+// Defined edge behavior (regression-tested, stable contract):
+//   - zero observations  -> NaN (there is no distribution to query);
+//   - NaN q              -> NaN;
+//   - q outside [0, 1]   -> clamped;
+//   - rank lands in the +Inf bucket -> the largest finite bound
+//     (the histogram cannot resolve beyond it);
+//   - a histogram with no finite buckets -> NaN.
+//
+// Quantile is safe to call concurrently with Observe: bucket counters
+// are loaded individually, so a racing observation can be counted or
+// missed, but never corrupts the walk (the +Inf fall-through covers a
+// count loaded before its bucket increment landed).
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
-	if total == 0 {
+	if total == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	if q < 0 {
@@ -138,12 +150,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	rank := q * float64(total)
 	cum := int64(0)
+	// Interpolation starts from 0 in the first bucket; negative
+	// observations land there anyway.
 	lower := 0.0
-	if len(h.bounds) > 0 {
-		// Assume observations start at 0 for interpolation purposes;
-		// negative observations land in the first bucket anyway.
-		lower = 0
-	}
 	for i, b := range h.bounds {
 		c := h.counts[i].Load()
 		if float64(cum+c) >= rank {

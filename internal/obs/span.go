@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,8 @@ import (
 type Span struct {
 	Name string
 
+	id string
+
 	mu       sync.Mutex
 	start    time.Time
 	end      time.Time
@@ -28,11 +31,18 @@ type Span struct {
 
 type spanKey struct{}
 
+// spanSeq numbers spans process-wide; the ID joins log records,
+// journal entries, and manifests emitted under the same span.
+var spanSeq atomic.Int64
+
+// ID returns the span's process-unique identifier ("sp-<n>").
+func (s *Span) ID() string { return s.id }
+
 // StartSpan begins a span named name. If ctx already carries a span,
 // the new span is registered as its child. The returned context
 // carries the new span; pass it to nested stages.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	sp := &Span{Name: name, start: time.Now()}
+	sp := &Span{Name: name, id: fmt.Sprintf("sp-%d", spanSeq.Add(1)), start: time.Now()}
 	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
 		sp.parent = parent
 		parent.mu.Lock()

@@ -1,0 +1,57 @@
+package sensornet
+
+import (
+	"testing"
+	"time"
+
+	"auditherm/internal/obs"
+)
+
+// TestIngestDropAccounting pins the Ingest return-value contract and
+// the drop accounting that backs auditherm_sensornet_dropped_total:
+// a reading inside an outage window returns false AND is tallied, a
+// reading outside returns true and is not.
+func TestIngestDropAccounting(t *testing.T) {
+	out := Outage{Start: t0.Add(2 * time.Hour), End: t0.Add(4 * time.Hour)}
+	s := NewStore([]Outage{out})
+
+	droppedBefore := obs.Default.CounterValue("auditherm_sensornet_dropped_total")
+	ingestedBefore := obs.Default.CounterValue("auditherm_sensornet_ingested_total")
+
+	if !s.Ingest("a", t0, 21.0) {
+		t.Error("Ingest outside outage = false, want true")
+	}
+	if s.Ingest("a", t0.Add(2*time.Hour), 21.5) {
+		t.Error("Ingest at outage start = true, want false (closed-open window)")
+	}
+	if s.Ingest("a", t0.Add(3*time.Hour), 22.0) {
+		t.Error("Ingest inside outage = true, want false")
+	}
+	if !s.Ingest("a", t0.Add(4*time.Hour), 22.5) {
+		t.Error("Ingest at outage end = false, want true (closed-open window)")
+	}
+
+	if got := s.Dropped(); got != 2 {
+		t.Errorf("Store.Dropped() = %d, want 2", got)
+	}
+	if d := obs.Default.CounterValue("auditherm_sensornet_dropped_total") - droppedBefore; d != 2 {
+		t.Errorf("auditherm_sensornet_dropped_total advanced by %d, want 2", d)
+	}
+	if d := obs.Default.CounterValue("auditherm_sensornet_ingested_total") - ingestedBefore; d != 2 {
+		t.Errorf("auditherm_sensornet_ingested_total advanced by %d, want 2", d)
+	}
+
+	// Only the stored readings are visible downstream.
+	ser, err := s.Series("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Len() != 2 {
+		t.Errorf("series length %d, want 2", ser.Len())
+	}
+
+	// A fresh store starts at zero.
+	if NewStore(nil).Dropped() != 0 {
+		t.Error("fresh store Dropped() != 0")
+	}
+}

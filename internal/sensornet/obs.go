@@ -1,0 +1,15 @@
+package sensornet
+
+import "auditherm/internal/obs"
+
+// Package metrics. droppedTotal counts readings that reached the base
+// station but were lost to a backend outage — the observable data-loss
+// artifact the paper's pipeline has to survive. ingestedTotal is the
+// complementary success count, so scrapes can compute a loss ratio
+// without knowing the sampling schedule.
+var (
+	droppedTotal = obs.NewCounter("auditherm_sensornet_dropped_total",
+		"Readings dropped because the backend was in an outage window.")
+	ingestedTotal = obs.NewCounter("auditherm_sensornet_ingested_total",
+		"Readings successfully stored by the backend.")
+)

@@ -148,11 +148,13 @@ func minTime(a, b time.Time) time.Time {
 }
 
 // Store is the cloud database fed by the base station. Readings that
-// arrive during an outage are lost.
+// arrive during an outage are lost (and counted: per-store via
+// Dropped, process-wide via auditherm_sensornet_dropped_total).
 type Store struct {
 	outages []Outage
 	series  map[string]*timeseries.Series
 	order   []string
+	dropped int64
 }
 
 // NewStore returns a store that drops data during the given outages.
@@ -174,11 +176,15 @@ func (s *Store) InOutage(t time.Time) bool {
 }
 
 // Ingest records a reading unless the backend is down.
-// It reports whether the reading was stored.
+// It reports whether the reading was stored; drops are tallied on the
+// store (Dropped) and on auditherm_sensornet_dropped_total.
 func (s *Store) Ingest(channel string, t time.Time, v float64) bool {
 	if s.InOutage(t) {
+		s.dropped++
+		droppedTotal.Inc()
 		return false
 	}
+	ingestedTotal.Inc()
 	ser, ok := s.series[channel]
 	if !ok {
 		ser = timeseries.NewSeries(channel)
@@ -188,6 +194,10 @@ func (s *Store) Ingest(channel string, t time.Time, v float64) bool {
 	ser.Append(t, v)
 	return true
 }
+
+// Dropped returns how many readings this store refused because the
+// backend was inside an outage window.
+func (s *Store) Dropped() int64 { return s.dropped }
 
 // Series returns the stored series for a channel, or an error if the
 // channel never stored a reading.

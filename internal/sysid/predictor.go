@@ -1,0 +1,109 @@
+package sysid
+
+import (
+	"fmt"
+
+	"auditherm/internal/mat"
+)
+
+// Predictor replays an identified Model online, one step ahead: it is
+// fed the measured temperatures as they arrive (Observe) and predicts
+// the next sample from the latest measurements (Predict). Unlike
+// Model.Simulate it never feeds back its own predictions, so the
+// prediction error stream it produces against the incoming
+// measurements is exactly the one-step residual the model-health
+// monitor consumes.
+//
+// The hot path is allocation-free: Predict writes into an internal
+// buffer reused across calls (valid until the next Predict). A
+// Predictor is not safe for concurrent use; run one per stream.
+type Predictor struct {
+	model *Model
+	cur   []float64 // T(k), last observed
+	prev  []float64 // T(k-1), for second-order trend
+	dt    []float64 // scratch: T(k) - T(k-1)
+	out   []float64 // reused prediction buffer
+	seen  int       // observations absorbed since Reset
+}
+
+// NewPredictor returns a streaming predictor over the model. The
+// predictor must be primed with Observe before the first Predict: one
+// observation for a first-order model, two for second-order (the trend
+// needs a difference).
+func NewPredictor(m *Model) (*Predictor, error) {
+	if m == nil || m.A == nil || m.B == nil {
+		return nil, fmt.Errorf("sysid: predictor needs a fitted model")
+	}
+	if m.Order == SecondOrder && m.A2 == nil {
+		return nil, fmt.Errorf("sysid: second-order predictor needs A2")
+	}
+	p := m.NumSensors()
+	return &Predictor{
+		model: m,
+		cur:   make([]float64, p),
+		prev:  make([]float64, p),
+		dt:    make([]float64, p),
+		out:   make([]float64, p),
+	}, nil
+}
+
+// warmupNeed returns how many observations prime the predictor.
+func (pr *Predictor) warmupNeed() int {
+	if pr.model.Order == SecondOrder {
+		return 2
+	}
+	return 1
+}
+
+// Ready reports whether enough observations have been absorbed for
+// Predict to be defined.
+func (pr *Predictor) Ready() bool { return pr.seen >= pr.warmupNeed() }
+
+// Observe absorbs the measured temperature vector for the current
+// step. The slice is copied; the caller may reuse it.
+func (pr *Predictor) Observe(t []float64) error {
+	if len(t) != pr.model.NumSensors() {
+		return fmt.Errorf("sysid: observation length %d, want %d", len(t), pr.model.NumSensors())
+	}
+	pr.prev, pr.cur = pr.cur, pr.prev
+	copy(pr.cur, t)
+	pr.seen++
+	return nil
+}
+
+// Predict returns the model's one-step-ahead prediction T(k+1) from
+// the latest observations and the current input u(k). The returned
+// slice is an internal buffer reused by the next Predict call; copy it
+// to retain. Returns an error until the predictor is primed.
+func (pr *Predictor) Predict(u []float64) ([]float64, error) {
+	if !pr.Ready() {
+		return nil, fmt.Errorf("sysid: predictor needs %d observation(s) before Predict, has %d",
+			pr.warmupNeed(), pr.seen)
+	}
+	if len(u) != pr.model.NumInputs() {
+		return nil, fmt.Errorf("sysid: input length %d, want %d", len(u), pr.model.NumInputs())
+	}
+	m := pr.model
+	p := m.NumSensors()
+	second := m.Order == SecondOrder
+	if second {
+		for i := range pr.dt {
+			pr.dt[i] = pr.cur[i] - pr.prev[i]
+		}
+	}
+	// Row-wise dot products into the reused buffer: Model.Predict goes
+	// through MulVec, which allocates per call — too hot for a
+	// per-sample monitoring path.
+	for i := 0; i < p; i++ {
+		v := mat.Dot(m.A.RawRow(i), pr.cur)
+		if second {
+			v += mat.Dot(m.A2.RawRow(i), pr.dt)
+		}
+		pr.out[i] = v + mat.Dot(m.B.RawRow(i), u)
+	}
+	return pr.out, nil
+}
+
+// Reset clears the observation history so the predictor can be re-primed,
+// e.g. after a trace gap where the one-step assumption breaks.
+func (pr *Predictor) Reset() { pr.seen = 0 }

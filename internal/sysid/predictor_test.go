@@ -1,0 +1,151 @@
+package sysid
+
+import (
+	"math"
+	"testing"
+
+	"auditherm/internal/mat"
+)
+
+func testModel(order Order) *Model {
+	a := mat.NewDense(2, 2)
+	a.Set(0, 0, 0.9)
+	a.Set(0, 1, 0.05)
+	a.Set(1, 0, 0.02)
+	a.Set(1, 1, 0.88)
+	b := mat.NewDense(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			b.Set(i, j, 0.01*float64(i+1)*float64(j+1))
+		}
+	}
+	m := &Model{Order: order, A: a, B: b}
+	if order == SecondOrder {
+		a2 := mat.NewDense(2, 2)
+		a2.Set(0, 0, 0.1)
+		a2.Set(1, 1, -0.05)
+		m.A2 = a2
+	}
+	return m
+}
+
+func TestPredictorMatchesModelPredict(t *testing.T) {
+	for _, order := range []Order{FirstOrder, SecondOrder} {
+		m := testModel(order)
+		pr, err := NewPredictor(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Ready() {
+			t.Errorf("%v: predictor ready before any observation", order)
+		}
+		obs := [][]float64{{20, 21}, {20.4, 21.2}, {20.9, 21.1}, {21.3, 20.8}}
+		u := []float64{0.5, 1, 0.2}
+		prevObs := []float64(nil)
+		for k, ob := range obs {
+			if err := pr.Observe(ob); err != nil {
+				t.Fatal(err)
+			}
+			if !pr.Ready() {
+				if order == SecondOrder && k == 0 {
+					if _, err := pr.Predict(u); err == nil {
+						t.Errorf("%v: Predict succeeded before priming", order)
+					}
+					prevObs = ob
+					continue
+				}
+				t.Fatalf("%v: not ready after %d observations", order, k+1)
+			}
+			got, err := pr.Predict(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dt := []float64{0, 0}
+			if order == SecondOrder {
+				for i := range dt {
+					dt[i] = ob[i] - prevObs[i]
+				}
+			}
+			want, err := m.Predict(ob, dt, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Errorf("%v step %d sensor %d: predictor %v, model %v", order, k, i, got[i], want[i])
+				}
+			}
+			prevObs = ob
+		}
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	if _, err := NewPredictor(nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	m := testModel(SecondOrder)
+	m.A2 = nil
+	if _, err := NewPredictor(m); err == nil {
+		t.Error("second-order model without A2 accepted")
+	}
+	pr, err := NewPredictor(testModel(FirstOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Observe([]float64{1}); err == nil {
+		t.Error("short observation accepted")
+	}
+	if err := pr.Observe([]float64{20, 21}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Predict([]float64{1}); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestPredictorResetRearms(t *testing.T) {
+	pr, err := NewPredictor(testModel(SecondOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ob := range [][]float64{{20, 21}, {20.5, 21.5}} {
+		if err := pr.Observe(ob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !pr.Ready() {
+		t.Fatal("not ready after two observations")
+	}
+	pr.Reset()
+	if pr.Ready() {
+		t.Error("ready immediately after Reset")
+	}
+	if _, err := pr.Predict([]float64{0, 0, 0}); err == nil {
+		t.Error("Predict succeeded across a Reset without re-priming")
+	}
+}
+
+// TestPredictorZeroAlloc pins the hot-path contract: once primed,
+// Observe+Predict allocate nothing (the monitor calls this per sample).
+func TestPredictorZeroAlloc(t *testing.T) {
+	pr, err := NewPredictor(testModel(SecondOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := []float64{20, 21}
+	u := []float64{0.5, 1, 0.2}
+	_ = pr.Observe(ob)
+	_ = pr.Observe(ob)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := pr.Observe(ob); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pr.Predict(u); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Observe+Predict allocates %v per run, want 0", allocs)
+	}
+}
