@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-par bench-gp bench-monitor clean
+.PHONY: check vet build test race bench bench-par bench-gp bench-monitor bench-pipeline clean
 
 check: vet build race test
 
@@ -23,9 +23,12 @@ build:
 # GP placement kernels (workspace-reusing solves on top of par-fanned
 # Mul/QR). internal/monitor publishes health verdicts read concurrently
 # by /readyz and the metrics scraper while the control loop updates it;
-# all eight get the race detector every time.
+# all eight get the race detector every time. internal/pipeline
+# resolves DAG dependencies concurrently and memoizes nodes across
+# goroutines, and internal/artifact backs it with concurrent
+# atomic-rename writes; both join the gate.
 race:
-	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat ./internal/monitor
+	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat ./internal/monitor ./internal/pipeline ./internal/artifact
 
 test:
 	$(GO) test ./...
@@ -57,6 +60,14 @@ bench-gp:
 # written.
 bench-monitor:
 	$(GO) test ./internal/benchmonitor -run RecordMonitorBench -record-monitor-bench
+
+# Regenerate the pipeline cold/warm cache benchmark in
+# BENCH_pipeline.json (the full paper DAG against an empty then a
+# warm artifact store). The warm rerun must be >=5x faster than cold
+# with every artifact digest bit-identical, or the file is not
+# written.
+bench-pipeline:
+	$(GO) test ./internal/benchpipeline -run RecordPipelineBench -record-pipeline-bench
 
 clean:
 	$(GO) clean ./...

@@ -2,21 +2,31 @@
 // stand-in for the paper's closed 14-week testbed trace — and writes it
 // as CSV (one column per channel, empty cells for gaps).
 //
+// The generation runs as the pipeline engine's "simulate" stage: with
+// -cache-dir (or $AUDITHERM_CACHE) set, a repeated invocation with the
+// same configuration rehydrates the dataset from the content-addressed
+// artifact store instead of re-simulating.
+//
 // Usage:
 //
 //	audsim [-days N] [-seed S] [-o dataset.csv] [-truth truth.csv]
-//	       [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
+//	       [-cache-dir DIR] [-force] [-parallelism N]
+//	       [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"auditherm/internal/artifact"
 	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 	"auditherm/internal/obs"
+	"auditherm/internal/pipeline"
 	"auditherm/internal/timeseries"
 )
 
@@ -55,9 +65,14 @@ func run(rt *cliutil.Runtime, days int, seed int64, out, truthOut string) error 
 		"output": out,
 	})
 
+	eng, err := rt.Engine(b)
+	if err != nil {
+		return err
+	}
+	sim := pipeline.Simulate(eng, cfg)
+
 	t0 := time.Now()
-	b.StartStage("generate")
-	d, err := dataset.Generate(cfg)
+	d, err := sim.Get(context.Background())
 	if err != nil {
 		return err
 	}
@@ -80,32 +95,30 @@ func run(rt *cliutil.Runtime, days int, seed int64, out, truthOut string) error 
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "usable occupied days: %d of %d\n", len(occ), days)
+	rt.PrintCacheSummary(eng)
 	if rt.ManifestRequested() {
 		b.SetMetric("grid_steps", float64(d.Frame.Grid.N))
 		b.SetMetric("channels", float64(len(d.Frame.Channels)))
 		b.SetMetric("missing_fraction", d.Frame.MissingFraction())
 		b.SetMetric("usable_occupied_days", float64(len(occ)))
-		b.StageCount("generate", "sim_steps", obs.Default.CounterValue("auditherm_dataset_sim_steps_total"))
-		b.StageCount("generate", "samples", obs.Default.CounterValue("auditherm_dataset_samples_total"))
+		b.StageCount("simulate", "sim_steps", obs.Default.CounterValue("auditherm_dataset_sim_steps_total"))
+		b.StageCount("simulate", "samples", obs.Default.CounterValue("auditherm_dataset_samples_total"))
 	}
 	return rt.WriteManifest(b)
 }
 
+// writeCSV writes a frame atomically: the CSV streams into a temp file
+// that is renamed over path only once complete, so a killed run never
+// leaves a truncated dataset behind.
 func writeCSV(path string, f *timeseries.Frame) error {
-	w := os.Stdout
-	if path != "-" {
-		file, err := os.Create(path)
-		if err != nil {
-			return fmt.Errorf("creating %s: %w", path, err)
-		}
-		defer file.Close()
-		w = file
+	if path == "-" {
+		return dataset.WriteCSV(os.Stdout, f)
 	}
-	if err := dataset.WriteCSV(w, f); err != nil {
+	if err := artifact.WriteFileAtomic(path, func(w io.Writer) error {
+		return dataset.WriteCSV(w, f)
+	}); err != nil {
 		return err
 	}
-	if path != "-" {
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
 }

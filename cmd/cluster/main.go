@@ -2,22 +2,27 @@
 // clustering on their measurement similarity, printing the Laplacian
 // eigen-spectrum, the eigengap choice of k and the cluster members.
 //
+// The run is a two-stage pipeline — load → cluster — keyed by the
+// CSV's content digest and the clustering config; with -cache-dir set,
+// the report of a warm rerun is printed entirely from the cached
+// cluster artifact.
+//
 // Usage:
 //
 //	cluster -i dataset.csv [-metric correlation] [-k 0]
-//	        [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
+//	        [-cache-dir DIR] [-force] [-parallelism N]
+//	        [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
 
 	"auditherm/internal/cliutil"
 	"auditherm/internal/cluster"
-	"auditherm/internal/dataset"
 	"auditherm/internal/obs"
-	"auditherm/internal/timeseries"
+	"auditherm/internal/pipeline"
 )
 
 func main() {
@@ -61,69 +66,43 @@ func run(rt *cliutil.Runtime, in, metricName string, k, onHour, offHour int) err
 		"k":      fmt.Sprint(k),
 	})
 
-	b.StartStage("load")
-	f, err := os.Open(in)
+	eng, err := rt.Engine(b)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	frame, err := dataset.ReadCSV(f)
+	frameNode, err := pipeline.LoadFrame(eng, in)
 	if err != nil {
 		return err
 	}
-	temps, inputs, sensors, err := dataset.FrameMatrices(frame)
-	if err != nil {
-		return err
-	}
+	clusterNode := pipeline.ClusterSensors(eng, frameNode, pipeline.ClusterConfig{
+		Metric: metric, K: k,
+		OnHour: onHour, OffHour: offHour,
+		Seed: 11,
+	})
 
-	// Cluster on the gap-free occupied-mode columns.
-	wins := dataset.GridModeWindows(frame.Grid, dataset.Occupied, onHour, offHour)
-	var rows [][]float64
-	for i := 0; i < temps.Rows(); i++ {
-		rows = append(rows, temps.RawRow(i))
-	}
-	for i := 0; i < inputs.Rows(); i++ {
-		rows = append(rows, inputs.RawRow(i))
-	}
-	mask, err := timeseries.ValidMask(rows)
+	// The report prints purely from the cluster artifact, so a warm
+	// rerun needs neither the trace matrix nor the similarity graph.
+	ca, err := clusterNode.Get(context.Background())
 	if err != nil {
 		return err
-	}
-	x := dataset.CollectValid(temps, mask, wins)
-	if x.Cols() < 10 {
-		return fmt.Errorf("only %d gap-free occupied steps; not enough to cluster", x.Cols())
 	}
 	fmt.Printf("clustering %d sensors over %d gap-free occupied steps (%v metric)\n",
-		x.Rows(), x.Cols(), metric)
-
-	b.StartStage("cluster")
-	w, err := cluster.SimilarityMatrix(x, metric)
-	if err != nil {
-		return err
-	}
-	res, err := cluster.SpectralCluster(w, k, cluster.SpectralOptions{Seed: 11})
-	if err != nil {
-		return err
-	}
-	b.EndStage()
-	b.SetMetric("chosen_k", float64(res.K))
-	b.SetMetric("sensors", float64(x.Rows()))
+		len(ca.Sensors), ca.Steps, metric)
+	b.SetMetric("chosen_k", float64(ca.K))
+	b.SetMetric("sensors", float64(len(ca.Sensors)))
 	fmt.Printf("\nLaplacian eigenvalues (ascending):\n")
-	for i, v := range res.Eigenvalues {
-		fmt.Printf("  lambda_%-2d = %.6g\n", i+1, v)
+	for i, v := range ca.Eigenvalues {
+		fmt.Printf("  lambda_%-2d = %.6g\n", i+1, float64(v))
 	}
-	fmt.Printf("\nchosen k = %d\n", res.K)
-	for c, ms := range res.Members() {
-		mean, err := cluster.MeanTrace(x, ms)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("cluster %d (mean %.2f degC):", c+1, cluster.MeanOfTrace(mean))
+	fmt.Printf("\nchosen k = %d\n", ca.K)
+	for c, ms := range ca.Members() {
+		fmt.Printf("cluster %d (mean %.2f degC):", c+1, float64(ca.MeanC[c]))
 		for _, i := range ms {
-			fmt.Printf(" %s", sensors[i])
+			fmt.Printf(" %s", ca.Sensors[i])
 		}
 		fmt.Println()
 	}
+	rt.PrintCacheSummary(eng)
 	if rt.ManifestRequested() {
 		b.StageCount("cluster", "kmeans_iterations", obs.Default.CounterValue("auditherm_cluster_kmeans_iterations_total"))
 	}

@@ -2,6 +2,11 @@
 // under a chosen controller and prints daily comfort and energy
 // metrics — the tool version of the repository's control study.
 //
+// The loop runs as the pipeline engine's "control" stage: with
+// -cache-dir set, an unmonitored rerun with the same configuration is
+// served from the artifact store. Monitored runs have side effects
+// (alarms, journal entries, readiness state) and always execute.
+//
 // With -monitor it attaches the online model-health monitor to the
 // loop: the controller reads its sensors through a simulated wireless
 // sensing chain (stale holds during injected fault windows), and the
@@ -13,11 +18,12 @@
 //
 //	hvacsim [-controller deadband|fixed] [-days 7] [-setpoint 21]
 //	        [-monitor] [-fault-sensor 0] [-fault-start 34h] [-fault-dur 3h]
-//	        [-alert-log alerts.jsonl] [-log-level info]
+//	        [-alert-log alerts.jsonl] [-log-level info] [-cache-dir DIR]
 //	        [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"time"
@@ -27,8 +33,7 @@ import (
 	"auditherm/internal/control"
 	"auditherm/internal/monitor"
 	"auditherm/internal/obs"
-	"auditherm/internal/occupancy"
-	"auditherm/internal/weather"
+	"auditherm/internal/pipeline"
 )
 
 func main() {
@@ -58,59 +63,26 @@ func main() {
 
 func run(rt *cliutil.Runtime, name string, days int, setpoint, flow float64, seed int64,
 	faultSensor int, faultStart, faultDur time.Duration, warmup int) error {
-	var ctrl control.Controller
 	switch name {
-	case "deadband":
-		d := control.DefaultDeadband()
-		d.Setpoint = setpoint
-		ctrl = d
-	case "fixed":
-		ctrl = &control.FixedFlow{
-			OnHour: 6, OffHour: 21,
-			Flow: flow, MinFlow: 0.05,
-			CoolSupply: 14, NeutralSupply: 20,
-		}
+	case "deadband", "fixed":
 	default:
 		return fmt.Errorf("unknown controller %q (deadband or fixed)", name)
 	}
-
 	start := time.Date(2013, time.March, 4, 0, 0, 0, 0, time.UTC)
-	occCfg := occupancy.DefaultGeneratorConfig()
-	occCfg.Seed = seed
-	sched, err := occupancy.Generate(start, start.AddDate(0, 0, days), occCfg)
-	if err != nil {
-		return err
-	}
-	wCfg := weather.DefaultConfig()
-	wCfg.Seed = seed + 1
-	wm, err := weather.NewModel(wCfg)
-	if err != nil {
-		return err
-	}
-	var thermoPos, allPos []building.Point
+	var thermoPos []building.Point
 	var thermoNames []string
 	for _, sp := range building.AuditoriumSensors() {
-		allPos = append(allPos, sp.Pos)
 		if sp.Thermostat {
 			thermoPos = append(thermoPos, sp.Pos)
 			thermoNames = append(thermoNames, sp.Name())
 		}
 	}
-	cfg := control.LoopConfig{
-		Building:         building.DefaultConfig(),
-		Start:            start,
-		Days:             days,
-		SimStep:          time.Minute,
-		DecisionStep:     15 * time.Minute,
-		Schedule:         sched,
-		Weather:          wm,
-		SensorPositions:  thermoPos,
-		ComfortPositions: allPos,
-		Setpoint:         setpoint,
-		NumVAVs:          4,
-	}
 
+	// Monitored loops push alarms into the journal and readiness state,
+	// so they run uncached: the customize hook attaches the monitor and
+	// optional fault injection and ControlRun disables caching for it.
 	var health *monitor.Monitor
+	var customize func(*control.LoopConfig) error
 	if rt.MonitorEnabled() {
 		mcfg := monitor.DefaultConfig()
 		if warmup > 0 {
@@ -121,6 +93,7 @@ func run(rt *cliutil.Runtime, name string, days int, setpoint, flow float64, see
 		// reading a few tenths of a degree stale standardizes to a
 		// large z.
 		mcfg.MinStd = 0.02
+		var err error
 		health, err = monitor.New(thermoNames, mcfg)
 		if err != nil {
 			return err
@@ -128,16 +101,19 @@ func run(rt *cliutil.Runtime, name string, days int, setpoint, flow float64, see
 		if err := rt.AttachMonitor(health); err != nil {
 			return err
 		}
-		cfg.Health = health
-		if faultSensor >= 0 {
-			if faultSensor >= len(thermoPos) {
-				return fmt.Errorf("fault sensor %d outside %d thermostat sensors", faultSensor, len(thermoPos))
+		customize = func(cfg *control.LoopConfig) error {
+			cfg.Health = health
+			if faultSensor >= 0 {
+				if faultSensor >= len(thermoPos) {
+					return fmt.Errorf("fault sensor %d outside %d thermostat sensors", faultSensor, len(thermoPos))
+				}
+				cfg.Sense = staleHold(faultSensor, start.Add(faultStart), start.Add(faultStart).Add(faultDur), len(thermoPos))
+				rt.Log.Info("fault injection armed",
+					"sensor", thermoNames[faultSensor],
+					"start", start.Add(faultStart).Format(time.RFC3339),
+					"dur", faultDur.String())
 			}
-			cfg.Sense = staleHold(faultSensor, start.Add(faultStart), start.Add(faultStart).Add(faultDur), len(thermoPos))
-			rt.Log.Info("fault injection armed",
-				"sensor", thermoNames[faultSensor],
-				"start", start.Add(faultStart).Format(time.RFC3339),
-				"dur", faultDur.String())
+			return nil
 		}
 	}
 
@@ -150,18 +126,27 @@ func run(rt *cliutil.Runtime, name string, days int, setpoint, flow float64, see
 		"flow":       fmt.Sprint(flow),
 		"monitor":    fmt.Sprint(rt.MonitorEnabled()),
 	})
-	fmt.Printf("running %s over %d days (setpoint %.1f degC)...\n", ctrl.Name(), days, setpoint)
-	b.StartStage("loop")
-	res, err := control.RunLoop(cfg, ctrl)
+
+	eng, err := rt.Engine(b)
 	if err != nil {
 		return err
 	}
-	b.EndStage()
+	node := pipeline.ControlRun(eng, pipeline.ControlConfig{
+		Controller: name, Days: days,
+		Setpoint: setpoint, Flow: flow,
+		Seed: seed, Start: start,
+	}, customize)
+
+	fmt.Printf("running %s controller over %d days (setpoint %.1f degC)...\n", name, days, setpoint)
+	res, err := node.Get(context.Background())
+	if err != nil {
+		return err
+	}
 	fmt.Printf("\ncontroller:           %s\n", res.Controller)
-	fmt.Printf("comfort RMS:          %.2f degC (occupied hours, all sensor positions)\n", res.ComfortRMS)
-	fmt.Printf("discomfort fraction:  %.1f%% (|PMV| deviation > 0.5 from setpoint)\n", 100*res.DiscomfortFrac)
-	fmt.Printf("cooling delivered:    %.1f kWh thermal\n", res.CoolingKWh)
-	fmt.Printf("mean occupied flow:   %.2f kg/s\n", res.MeanOccupiedFlow)
+	fmt.Printf("comfort RMS:          %.2f degC (occupied hours, all sensor positions)\n", float64(res.ComfortRMS))
+	fmt.Printf("discomfort fraction:  %.1f%% (|PMV| deviation > 0.5 from setpoint)\n", 100*float64(res.DiscomfortFrac))
+	fmt.Printf("cooling delivered:    %.1f kWh thermal\n", float64(res.CoolingKWh))
+	fmt.Printf("mean occupied flow:   %.2f kg/s\n", float64(res.MeanOccupiedFlow))
 	if health != nil {
 		worst, perState := health.Verdict()
 		fmt.Printf("model health:         %s", worst)
@@ -177,13 +162,14 @@ func run(rt *cliutil.Runtime, name string, days int, setpoint, flow float64, see
 		b.SetMetric("health_transitions_total",
 			float64(obs.Default.CounterValue("auditherm_monitor_transitions_total")))
 	}
+	rt.PrintCacheSummary(eng)
 	if rt.ManifestRequested() {
-		b.SetMetric("comfort_rms_degc", res.ComfortRMS)
-		b.SetMetric("discomfort_frac", res.DiscomfortFrac)
-		b.SetMetric("cooling_kwh", res.CoolingKWh)
-		b.SetMetric("mean_occupied_flow_kgs", res.MeanOccupiedFlow)
-		b.StageCount("loop", "ticks", obs.Default.CounterValue("auditherm_control_ticks_total"))
-		b.StageCount("loop", "decisions", obs.Default.CounterValue("auditherm_control_decisions_total"))
+		b.SetMetric("comfort_rms_degc", float64(res.ComfortRMS))
+		b.SetMetric("discomfort_frac", float64(res.DiscomfortFrac))
+		b.SetMetric("cooling_kwh", float64(res.CoolingKWh))
+		b.SetMetric("mean_occupied_flow_kgs", float64(res.MeanOccupiedFlow))
+		b.StageCount("control", "ticks", obs.Default.CounterValue("auditherm_control_ticks_total"))
+		b.StageCount("control", "decisions", obs.Default.CounterValue("auditherm_control_decisions_total"))
 	}
 	return rt.WriteManifest(b)
 }

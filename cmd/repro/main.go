@@ -2,32 +2,47 @@
 // evaluation on the simulated auditorium dataset and prints them in
 // order. Its output is the source for EXPERIMENTS.md.
 //
+// Each experiment runs as a pipeline stage keyed by the dataset's
+// content digest: with -cache-dir set, a warm rerun rehydrates every
+// report from the artifact store and reprints the cold run's stdout
+// byte for byte (progress and timing go to stderr). Changing one
+// experiment's knob (say -control-days) invalidates exactly that
+// stage.
+//
 // Usage:
 //
-//	repro [-only <id>] [-short] [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
+//	repro [-only <id>] [-short] [-control-days 7]
+//	      [-cache-dir DIR] [-force] [-parallelism N]
+//	      [-metrics-addr host:port] [-manifest out.json]
 //
 // where id is one of: table1, table2, fig2 ... fig11, control, virtual. -short skips the
 // slowest sweeps (Figures 7, 8, 10, 11). -metrics-addr serves live
 // /metrics, /debug/vars, and /debug/pprof while the run is in flight;
 // -manifest writes a JSON run manifest (provenance, per-stage wall/CPU
-// time, span tree, headline metrics) when the run finishes.
+// time, artifact digests with hit/miss, span tree, headline metrics)
+// when the run finishes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 	"time"
 
 	"auditherm/internal/cliutil"
+	"auditherm/internal/dataset"
 	"auditherm/internal/experiments"
 	"auditherm/internal/obs"
+	"auditherm/internal/pipeline"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1, table2, fig2..fig11)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig2..fig11, control, virtual)")
 	short := flag.Bool("short", false, "skip the slowest sweeps")
+	controlDays := flag.Int("control-days", 7, "simulated days for the closed-loop control study")
 	common := cliutil.Register()
 	flag.Parse()
 
@@ -37,117 +52,164 @@ func main() {
 	}
 	defer rt.Close()
 
-	if err := run(rt, *only, *short); err != nil {
+	if err := run(rt, os.Stdout, *only, *short, dataset.DefaultConfig(), *controlDays); err != nil {
 		cliutil.Fatal(rt, "repro", err)
 	}
 }
 
-func run(rt *cliutil.Runtime, only string, short bool) error {
+// run builds the experiment DAG and prints the selected reports to w.
+// Everything written to w is a pure function of the dataset config and
+// the experiment knobs — progress and timing go to stderr — so a warm
+// cached rerun reproduces the stream byte for byte.
+func run(rt *cliutil.Runtime, w io.Writer, only string, short bool, cfg dataset.Config, controlDays int) error {
+	if controlDays < 1 {
+		return fmt.Errorf("control-days %d must be positive", controlDays)
+	}
 	b := rt.NewManifest()
-	b.SetSeed(1) // dataset.DefaultConfig seed
+	b.SetSeed(cfg.Seed)
 	b.SetConfig(map[string]string{
-		"only":  only,
-		"short": fmt.Sprint(short),
+		"only":         only,
+		"short":        fmt.Sprint(short),
+		"control_days": fmt.Sprint(controlDays),
 	})
 	ctx, root := obs.StartSpan(context.Background(), "repro")
 	b.SetRootSpan(root)
 
-	t0 := time.Now()
-	fmt.Println("generating 98-day auditorium dataset...")
-	b.StartStage("dataset")
-	_, dataSpan := obs.StartSpan(ctx, "dataset")
-	env, err := experiments.Shared()
-	dataSpan.End()
+	eng, err := rt.Engine(b)
 	if err != nil {
 		return err
 	}
-	dataSpan.SetCount("usable_occupied_days", int64(len(env.OccTrainDays)+len(env.OccValidDays)))
-	fmt.Printf("dataset ready in %v: %d usable occupied days (%d train / %d valid)\n\n",
-		time.Since(t0).Round(time.Millisecond),
-		len(env.OccTrainDays)+len(env.OccValidDays), len(env.OccTrainDays), len(env.OccValidDays))
+	src := experiments.NewEnvSource(eng, cfg)
+	summary := experiments.SummaryReport(eng, src)
 
+	noMetrics := func(run func(env *experiments.Env) (fmt.Stringer, error)) func(env *experiments.Env) (fmt.Stringer, map[string]float64, error) {
+		return func(env *experiments.Env) (fmt.Stringer, map[string]float64, error) {
+			res, err := run(env)
+			return res, nil, err
+		}
+	}
 	type experiment struct {
 		id   string
 		slow bool
-		run  func() (fmt.Stringer, error)
+		node *pipeline.Node[*experiments.Report]
 	}
 	exps := []experiment{
-		{"table1", false, func() (fmt.Stringer, error) {
-			res, err := experiments.TableI(env)
-			if err != nil {
-				return nil, err
-			}
-			b.SetMetric("table1_occupied_rms90_order1", res.RMS90[0][0])
-			b.SetMetric("table1_occupied_rms90_order2", res.RMS90[0][1])
-			b.SetMetric("table1_unoccupied_rms90_order1", res.RMS90[1][0])
-			b.SetMetric("table1_unoccupied_rms90_order2", res.RMS90[1][1])
-			return res, nil
-		}},
-		{"fig2", false, func() (fmt.Stringer, error) { return experiments.Figure2(env) }},
-		{"fig3", false, func() (fmt.Stringer, error) { return experiments.Figure3(env) }},
-		{"fig4", false, func() (fmt.Stringer, error) { return experiments.Figure4(env) }},
-		{"fig5", false, func() (fmt.Stringer, error) { return experiments.Figure5(env) }},
-		{"fig6", false, func() (fmt.Stringer, error) {
-			eu, co, err := experiments.Figure6(env)
-			if err != nil {
-				return nil, err
-			}
-			b.SetMetric("fig6_euclidean_k", float64(eu.K))
-			b.SetMetric("fig6_correlation_k", float64(co.K))
-			return stringers{eu, co}, nil
-		}},
-		{"fig7", true, func() (fmt.Stringer, error) {
-			rs, err := experiments.Figure7(env)
-			if err != nil {
-				return nil, err
-			}
-			return intraPanels("Figure 7 (Euclidean clustering panels)", rs), nil
-		}},
-		{"fig8", true, func() (fmt.Stringer, error) {
-			rs, err := experiments.Figure8(env)
-			if err != nil {
-				return nil, err
-			}
-			return intraPanels("Figure 8 (correlation clustering panels)", rs), nil
-		}},
-		{"table2", false, func() (fmt.Stringer, error) { return experiments.TableII(env) }},
-		{"fig9", false, func() (fmt.Stringer, error) { return experiments.Figure9(env) }},
-		{"fig10", true, func() (fmt.Stringer, error) { return experiments.Figure10(env) }},
-		{"fig11", true, func() (fmt.Stringer, error) { return experiments.Figure11(env) }},
-		{"control", true, func() (fmt.Stringer, error) { return experiments.ControlStudy(env, 7) }},
-		{"virtual", true, func() (fmt.Stringer, error) { return experiments.VirtualSensing(env) }},
+		{"table1", false, experiments.DefineReport(eng, "table1", nil, src,
+			func(env *experiments.Env) (fmt.Stringer, map[string]float64, error) {
+				res, err := experiments.TableI(env)
+				if err != nil {
+					return nil, nil, err
+				}
+				return res, map[string]float64{
+					"table1_occupied_rms90_order1":   res.RMS90[0][0],
+					"table1_occupied_rms90_order2":   res.RMS90[0][1],
+					"table1_unoccupied_rms90_order1": res.RMS90[1][0],
+					"table1_unoccupied_rms90_order2": res.RMS90[1][1],
+				}, nil
+			})},
+		{"fig2", false, experiments.DefineReport(eng, "fig2", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure2(env) }))},
+		{"fig3", false, experiments.DefineReport(eng, "fig3", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure3(env) }))},
+		{"fig4", false, experiments.DefineReport(eng, "fig4", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure4(env) }))},
+		{"fig5", false, experiments.DefineReport(eng, "fig5", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure5(env) }))},
+		{"fig6", false, experiments.DefineReport(eng, "fig6", nil, src,
+			func(env *experiments.Env) (fmt.Stringer, map[string]float64, error) {
+				eu, co, err := experiments.Figure6(env)
+				if err != nil {
+					return nil, nil, err
+				}
+				return stringers{eu, co}, map[string]float64{
+					"fig6_euclidean_k":   float64(eu.K),
+					"fig6_correlation_k": float64(co.K),
+				}, nil
+			})},
+		{"fig7", true, experiments.DefineReport(eng, "fig7", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) {
+				rs, err := experiments.Figure7(env)
+				if err != nil {
+					return nil, err
+				}
+				return intraPanels("Figure 7 (Euclidean clustering panels)", rs), nil
+			}))},
+		{"fig8", true, experiments.DefineReport(eng, "fig8", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) {
+				rs, err := experiments.Figure8(env)
+				if err != nil {
+					return nil, err
+				}
+				return intraPanels("Figure 8 (correlation clustering panels)", rs), nil
+			}))},
+		{"table2", false, experiments.DefineReport(eng, "table2", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.TableII(env) }))},
+		{"fig9", false, experiments.DefineReport(eng, "fig9", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure9(env) }))},
+		{"fig10", true, experiments.DefineReport(eng, "fig10", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure10(env) }))},
+		{"fig11", true, experiments.DefineReport(eng, "fig11", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure11(env) }))},
+		{"control", true, experiments.DefineReport(eng, "control",
+			map[string]string{"days": fmt.Sprint(controlDays)}, src, noMetrics(
+				func(env *experiments.Env) (fmt.Stringer, error) {
+					return experiments.ControlStudy(env, controlDays)
+				}))},
+		{"virtual", true, experiments.DefineReport(eng, "virtual", nil, src, noMetrics(
+			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.VirtualSensing(env) }))},
 	}
 
-	known := false
+	known := only == ""
 	for _, ex := range exps {
-		if only != "" && ex.id != only {
-			continue
+		if ex.id == only {
+			known = true
 		}
-		known = true
-		if only == "" && short && ex.slow {
-			fmt.Printf("== %s skipped (-short) ==\n\n", ex.id)
-			continue
-		}
-		start := time.Now()
-		b.StartStage(ex.id)
-		_, sp := obs.StartSpan(ctx, ex.id)
-		res, err := ex.run()
-		sp.End()
-		b.EndStage()
-		if err != nil {
-			return fmt.Errorf("%s: %w", ex.id, err)
-		}
-		fmt.Printf("== %s (%v) ==\n%s\n", ex.id, time.Since(start).Round(time.Millisecond), res)
 	}
 	if !known {
 		return fmt.Errorf("unknown experiment %q", only)
 	}
+
+	t0 := time.Now()
+	sum, err := summary.Get(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dataset stage ready in %v\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(w, "%s\n", sum.Text)
+	setMetrics(b, sum)
+
+	for _, ex := range exps {
+		if only != "" && ex.id != only {
+			continue
+		}
+		if only == "" && short && ex.slow {
+			fmt.Fprintf(w, "== %s skipped (-short) ==\n\n", ex.id)
+			continue
+		}
+		start := time.Now()
+		rep, err := ex.node.Get(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.id, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", ex.id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "== %s ==\n%s\n", ex.id, rep.Text)
+		setMetrics(b, rep)
+	}
 	root.End()
+	rt.PrintCacheSummary(eng)
 	if rt.ManifestRequested() {
-		b.StageCount("dataset", "sim_steps", obs.Default.CounterValue("auditherm_dataset_sim_steps_total"))
-		b.StageCount("dataset", "samples", obs.Default.CounterValue("auditherm_dataset_samples_total"))
+		b.StageCount("simulate", "sim_steps", obs.Default.CounterValue("auditherm_dataset_sim_steps_total"))
+		b.StageCount("simulate", "samples", obs.Default.CounterValue("auditherm_dataset_samples_total"))
 	}
 	return rt.WriteManifest(b)
+}
+
+// setMetrics copies a report's headline metrics into the manifest, so
+// warm cache hits restore the same manifest metrics as a cold run.
+func setMetrics(b *obs.ManifestBuilder, rep *experiments.Report) {
+	for k, v := range rep.Metrics {
+		b.SetMetric(k, float64(v))
+	}
 }
 
 // stringers joins multiple results into one printable block.

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"auditherm/internal/cliutil"
+	"auditherm/internal/dataset"
+	"auditherm/internal/obs"
+)
+
+func testRuntime(t *testing.T, c *cliutil.Common) *cliutil.Runtime {
+	t.Helper()
+	if c == nil {
+		c = &cliutil.Common{}
+	}
+	if c.LogLevel == "" {
+		c.LogLevel = "error"
+	}
+	rt, err := c.Start("repro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// smallConfig is a gap-light two-week trace: large enough for every
+// experiment to have usable train and validation days, small enough
+// that the whole suite runs in test time.
+func smallConfig() dataset.Config {
+	cfg := dataset.DefaultConfig()
+	cfg.Days = 14
+	cfg.SimStep = 2 * time.Minute
+	cfg.NumLongOutages = 0
+	cfg.NumShortOutages = 2
+	cfg.NodeFailureProb = 0
+	return cfg
+}
+
+func readManifest(t *testing.T, path string) *obs.RunManifest {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.RunManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("parsing manifest: %v", err)
+	}
+	return &m
+}
+
+// TestColdWarmByteIdentical is the end-to-end cache contract: a warm
+// rerun of the full (-short) suite reproduces the cold run's stdout
+// byte for byte, serves every stage from the artifact store, and
+// restores the same manifest metrics.
+func TestColdWarmByteIdentical(t *testing.T) {
+	cache := t.TempDir()
+	dir := t.TempDir()
+	cfg := smallConfig()
+
+	coldManifest := filepath.Join(dir, "cold.json")
+	rt := testRuntime(t, &cliutil.Common{CacheDir: cache, Manifest: coldManifest})
+	var cold bytes.Buffer
+	if err := run(rt, &cold, "", true, cfg, 2); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	warmManifest := filepath.Join(dir, "warm.json")
+	rt2 := testRuntime(t, &cliutil.Common{CacheDir: cache, Manifest: warmManifest})
+	var warm bytes.Buffer
+	if err := run(rt2, &warm, "", true, cfg, 2); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm stdout differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold.String(), warm.String())
+	}
+	cm, wm := readManifest(t, coldManifest), readManifest(t, warmManifest)
+	if len(wm.Artifacts) == 0 {
+		t.Fatal("warm manifest has no artifact records")
+	}
+	for stage, st := range wm.Artifacts {
+		if !st.CacheHit {
+			t.Errorf("warm run recomputed stage %s", stage)
+		}
+		if cs, ok := cm.Artifacts[stage]; !ok {
+			t.Errorf("stage %s missing from cold manifest", stage)
+		} else if cs.CacheHit {
+			t.Errorf("cold run claims a cache hit for stage %s", stage)
+		} else if cs.Digest != st.Digest {
+			t.Errorf("stage %s digest changed across cold/warm: %s vs %s", stage, cs.Digest, st.Digest)
+		}
+	}
+	for k, v := range cm.Metrics {
+		if wv, ok := wm.Metrics[k]; !ok || wv != v {
+			t.Errorf("metric %s: cold %v, warm %v (present %v)", k, v, wm.Metrics[k], ok)
+		}
+	}
+}
+
+// TestControlDaysInvalidatesExactlyControl checks invalidation
+// precision: changing the control study's day count recomputes that
+// stage alone while the shared dataset stage stays warm.
+func TestControlDaysInvalidatesExactlyControl(t *testing.T) {
+	cache := t.TempDir()
+	dir := t.TempDir()
+	cfg := smallConfig()
+
+	rt := testRuntime(t, &cliutil.Common{CacheDir: cache, Manifest: filepath.Join(dir, "a.json")})
+	var outA bytes.Buffer
+	if err := run(rt, &outA, "control", false, cfg, 2); err != nil {
+		t.Fatalf("first control run: %v", err)
+	}
+
+	changed := filepath.Join(dir, "b.json")
+	rt2 := testRuntime(t, &cliutil.Common{CacheDir: cache, Manifest: changed})
+	var outB bytes.Buffer
+	if err := run(rt2, &outB, "control", false, cfg, 3); err != nil {
+		t.Fatalf("changed control run: %v", err)
+	}
+	m := readManifest(t, changed)
+	if st, ok := m.Artifacts["simulate"]; !ok || !st.CacheHit {
+		t.Errorf("simulate stage should stay warm across a control-days change (hit=%v, found=%v)", st.CacheHit, ok)
+	}
+	if st, ok := m.Artifacts["exp-control"]; !ok || st.CacheHit {
+		t.Errorf("exp-control should recompute when days change (hit=%v, found=%v)", st.CacheHit, ok)
+	}
+
+	// Same knobs again: no under-invalidation masquerading as a hit —
+	// the recomputed artifact now serves warm and byte-identical.
+	rt3 := testRuntime(t, &cliutil.Common{CacheDir: cache, Manifest: filepath.Join(dir, "c.json")})
+	var outC bytes.Buffer
+	if err := run(rt3, &outC, "control", false, cfg, 3); err != nil {
+		t.Fatalf("repeat control run: %v", err)
+	}
+	if !bytes.Equal(outB.Bytes(), outC.Bytes()) {
+		t.Error("repeat of the changed run is not byte-identical")
+	}
+	m3 := readManifest(t, filepath.Join(dir, "c.json"))
+	if st := m3.Artifacts["exp-control"]; !st.CacheHit {
+		t.Error("repeat of the changed run should hit exp-control")
+	}
+}
+
+// TestPartialProgressResumes covers kill/resume at the CLI level: a
+// run that only produced the dataset and one figure leaves artifacts
+// a later, larger run picks up instead of regenerating.
+func TestPartialProgressResumes(t *testing.T) {
+	cache := t.TempDir()
+	dir := t.TempDir()
+	cfg := smallConfig()
+
+	rt := testRuntime(t, &cliutil.Common{CacheDir: cache})
+	var first bytes.Buffer
+	if err := run(rt, &first, "fig2", false, cfg, 2); err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+
+	resumed := filepath.Join(dir, "resume.json")
+	rt2 := testRuntime(t, &cliutil.Common{CacheDir: cache, Manifest: resumed})
+	var second bytes.Buffer
+	if err := run(rt2, &second, "fig6", false, cfg, 2); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	m := readManifest(t, resumed)
+	for _, stage := range []string{"simulate", "exp-summary"} {
+		if st, ok := m.Artifacts[stage]; !ok || !st.CacheHit {
+			t.Errorf("resumed run should reuse %s (hit=%v, found=%v)", stage, st.CacheHit, ok)
+		}
+	}
+	if st := m.Artifacts["exp-fig6"]; st.CacheHit {
+		t.Error("exp-fig6 cannot hit on its first execution")
+	}
+}
+
+// TestForceRecomputesButMatches: -force bypasses the cache yet, the
+// pipeline being deterministic, reproduces identical bytes.
+func TestForceRecomputesButMatches(t *testing.T) {
+	cache := t.TempDir()
+	dir := t.TempDir()
+	cfg := smallConfig()
+
+	rt := testRuntime(t, &cliutil.Common{CacheDir: cache})
+	var first bytes.Buffer
+	if err := run(rt, &first, "fig2", false, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	forced := filepath.Join(dir, "forced.json")
+	rt2 := testRuntime(t, &cliutil.Common{CacheDir: cache, Force: true, Manifest: forced})
+	var second bytes.Buffer
+	if err := run(rt2, &second, "fig2", false, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("forced recompute is not byte-identical to the original")
+	}
+	m := readManifest(t, forced)
+	for stage, st := range m.Artifacts {
+		if st.CacheHit {
+			t.Errorf("forced run reported a cache hit for %s", stage)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	rt := testRuntime(t, nil)
+	var out bytes.Buffer
+	if err := run(rt, &out, "nope", false, smallConfig(), 2); err == nil {
+		t.Fatal("expected an error for an unknown experiment id")
+	}
+}
+
+func TestBadControlDays(t *testing.T) {
+	rt := testRuntime(t, nil)
+	var out bytes.Buffer
+	if err := run(rt, &out, "control", false, smallConfig(), 0); err == nil {
+		t.Fatal("expected an error for a non-positive control-days")
+	}
+}

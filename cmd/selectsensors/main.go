@@ -3,25 +3,27 @@
 // representatives with SMS / SRS / RS / GP, and scores how well each
 // set predicts the cluster mean temperatures on held-out data.
 //
+// The run is a three-stage pipeline — load → cluster → select — keyed
+// by the CSV's content digest and the clustering/selection configs;
+// with -cache-dir set, a warm rerun prints the comparison from the
+// cached selection artifact.
+//
 // Usage:
 //
 //	selectsensors -i dataset.csv [-k 2] [-seeds 10] [-gp fast|lazy|naive]
-//	              [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
+//	              [-cache-dir DIR] [-force] [-parallelism N]
+//	              [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
-	"time"
+	"strings"
 
 	"auditherm/internal/cliutil"
 	"auditherm/internal/cluster"
-	"auditherm/internal/dataset"
-	"auditherm/internal/mat"
-	"auditherm/internal/selection"
-	"auditherm/internal/stats"
-	"auditherm/internal/timeseries"
+	"auditherm/internal/pipeline"
 )
 
 func main() {
@@ -45,23 +47,6 @@ func main() {
 	}
 }
 
-// greedyMIPath maps the -gp flag to one of the placement
-// implementations (see internal/selection: they are
-// selection-identical; the flag only picks the execution strategy).
-func greedyMIPath(mode string) (func(cov *mat.Dense, n int) ([]int, error), error) {
-	switch mode {
-	case "fast":
-		return selection.GreedyMI, nil
-	case "lazy":
-		return func(cov *mat.Dense, n int) ([]int, error) {
-			return selection.GreedyMIOpts(cov, n, selection.GreedyMIOptions{Lazy: true})
-		}, nil
-	case "naive":
-		return selection.GreedyMINaive, nil
-	}
-	return nil, fmt.Errorf("unknown -gp mode %q (want fast, lazy or naive)", mode)
-}
-
 func run(rt *cliutil.Runtime, in string, k, seeds, onHour, offHour int, gpMode string) error {
 	if in == "" {
 		return fmt.Errorf("missing -i dataset.csv")
@@ -69,9 +54,10 @@ func run(rt *cliutil.Runtime, in string, k, seeds, onHour, offHour int, gpMode s
 	if seeds < 1 {
 		return fmt.Errorf("seeds %d must be positive", seeds)
 	}
-	greedyMI, err := greedyMIPath(gpMode)
-	if err != nil {
-		return err
+	switch gpMode {
+	case "fast", "lazy", "naive":
+	default:
+		return fmt.Errorf("unknown -gp mode %q (want fast, lazy or naive)", gpMode)
 	}
 	b := rt.NewManifest()
 	b.SetConfig(map[string]string{
@@ -80,130 +66,71 @@ func run(rt *cliutil.Runtime, in string, k, seeds, onHour, offHour int, gpMode s
 		"seeds": fmt.Sprint(seeds),
 		"gp":    gpMode,
 	})
-	b.StartStage("load")
-	f, err := os.Open(in)
+
+	eng, err := rt.Engine(b)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	frame, err := dataset.ReadCSV(f)
+	frameNode, err := pipeline.LoadFrame(eng, in)
 	if err != nil {
 		return err
 	}
-	temps, inputs, sensors, err := dataset.FrameMatrices(frame)
+	// The selection pipeline clusters on the training half of the
+	// occupied windows (the held-out half scores the selections).
+	clusterNode := pipeline.ClusterSensors(eng, frameNode, pipeline.ClusterConfig{
+		Metric: cluster.Correlation, K: k,
+		OnHour: onHour, OffHour: offHour,
+		Seed: 11, TrainHalf: true,
+	})
+	selNode := pipeline.SelectRepresentatives(eng, frameNode, clusterNode, pipeline.SelectConfig{
+		OnHour: onHour, OffHour: offHour,
+		Seeds: seeds, GPMode: gpMode,
+	})
+
+	ctx := context.Background()
+	sa, err := selNode.Get(ctx)
 	if err != nil {
 		return err
 	}
-	var rows [][]float64
-	for i := 0; i < temps.Rows(); i++ {
-		rows = append(rows, temps.RawRow(i))
-	}
-	for i := 0; i < inputs.Rows(); i++ {
-		rows = append(rows, inputs.RawRow(i))
-	}
-	mask, err := timeseries.ValidMask(rows)
+	ca, err := clusterNode.Get(ctx)
 	if err != nil {
 		return err
-	}
-	wins := dataset.GridModeWindows(frame.Grid, dataset.Occupied, onHour, offHour)
-	trainWins, validWins := dataset.SplitWindows(wins)
-	trainX := dataset.CollectValid(temps, mask, trainWins)
-	validX := dataset.CollectValid(temps, mask, validWins)
-	if trainX.Cols() < 10 || validX.Cols() < 10 {
-		return fmt.Errorf("not enough gap-free steps (train %d, valid %d)", trainX.Cols(), validX.Cols())
 	}
 
-	b.StartStage("cluster")
-	w, err := cluster.SimilarityMatrix(trainX, cluster.Correlation)
-	if err != nil {
-		return err
-	}
-	res, err := cluster.SpectralCluster(w, k, cluster.SpectralOptions{Seed: 11})
-	if err != nil {
-		return err
-	}
-	b.StartStage("select")
-	members := res.Members()
 	fmt.Printf("%d clusters over %d sensors (train %d steps, validation %d steps)\n",
-		res.K, len(sensors), trainX.Cols(), validX.Cols())
-	for c, ms := range members {
+		sa.K, len(sa.Sensors), sa.TrainSteps, sa.ValidSteps)
+	for c, ms := range ca.Members() {
 		fmt.Printf("cluster %d:", c+1)
 		for _, i := range ms {
-			fmt.Printf(" %s", sensors[i])
+			fmt.Printf(" %s", ca.Sensors[i])
 		}
 		fmt.Println()
 	}
 
-	score := func(sel [][]int) (float64, error) {
-		errs, err := selection.ClusterMeanErrors(validX, members, sel)
-		if err != nil {
-			return 0, err
-		}
-		return stats.Percentile(errs, 99)
-	}
-
 	fmt.Printf("\n%-8s %-10s %s\n", "method", "99pct err", "selected")
-	sms, err := selection.StratifiedNearMean(trainX, members)
-	if err != nil {
-		return err
-	}
-	smsSel := make([][]int, len(sms))
-	var smsNames []string
-	for c, i := range sms {
-		smsSel[c] = []int{i}
-		smsNames = append(smsNames, sensors[i])
-	}
-	v, err := score(smsSel)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-8s %-10.3f %v\n", "SMS", v, smsNames)
-	b.SetMetric("sms_99pct_err", v)
-
-	var srsSum, rsSum float64
-	for seed := 1; seed <= seeds; seed++ {
-		srs, err := selection.StratifiedRandom(members, 1, int64(seed))
-		if err != nil {
-			return err
+	for _, m := range sa.Methods {
+		switch {
+		case m.Draws > 0:
+			fmt.Printf("%-8s %-10.3f (mean of %d draws)\n", m.Method, float64(m.Score), m.Draws)
+		case m.Method == "GP":
+			fmt.Printf("%-8s %-10.3f %v (%s path)\n", m.Method, float64(m.Score), selectionNames(sa.Sensors, m.Selected), gpMode)
+		default:
+			fmt.Printf("%-8s %-10.3f %v\n", m.Method, float64(m.Score), selectionNames(sa.Sensors, m.Selected))
 		}
-		if v, err = score(srs); err != nil {
-			return err
-		}
-		srsSum += v
-		rs, err := selection.SimpleRandom(len(sensors), res.K, int64(seed))
-		if err != nil {
-			return err
-		}
-		if v, err = score(selection.AssignToClusters(rs, res.K)); err != nil {
-			return err
-		}
-		rsSum += v
+		b.SetMetric(strings.ToLower(m.Method)+"_99pct_err", float64(m.Score))
 	}
-	fmt.Printf("%-8s %-10.3f (mean of %d draws)\n", "SRS", srsSum/float64(seeds), seeds)
-	fmt.Printf("%-8s %-10.3f (mean of %d draws)\n", "RS", rsSum/float64(seeds), seeds)
-	b.SetMetric("srs_99pct_err", srsSum/float64(seeds))
-	b.SetMetric("rs_99pct_err", rsSum/float64(seeds))
-
-	cov, err := stats.CovarianceMatrix(trainX)
-	if err != nil {
-		return err
-	}
-	gpStart := time.Now()
-	gp, err := greedyMI(cov, res.K)
-	if err != nil {
-		return fmt.Errorf("GP placement (%s): %w", gpMode, err)
-	}
-	gpElapsed := time.Since(gpStart)
-	var gpNames []string
-	for _, i := range gp {
-		gpNames = append(gpNames, sensors[i])
-	}
-	if v, err = score(selection.AssignToClusters(gp, res.K)); err != nil {
-		return err
-	}
-	fmt.Printf("%-8s %-10.3f %v (%s path, %v)\n", "GP", v, gpNames, gpMode, gpElapsed.Round(time.Microsecond))
-	b.SetMetric("gp_99pct_err", v)
-	b.SetMetric("gp_elapsed_ms", float64(gpElapsed)/float64(time.Millisecond))
-	b.SetMetric("clusters_k", float64(res.K))
+	b.SetMetric("clusters_k", float64(sa.K))
+	rt.PrintCacheSummary(eng)
 	return rt.WriteManifest(b)
+}
+
+// selectionNames flattens a per-cluster selection to sensor names.
+func selectionNames(sensors []string, sel [][]int) []string {
+	var names []string
+	for _, cs := range sel {
+		for _, i := range cs {
+			names = append(names, sensors[i])
+		}
+	}
+	return names
 }

@@ -2,22 +2,31 @@
 // a dataset CSV (as produced by audsim), evaluates their free-run
 // prediction error on held-out days and prints a per-sensor report.
 //
+// The run is a three-stage pipeline — load → sysid → evaluate — keyed
+// by the CSV's content digest and the identification config: with
+// -cache-dir set, rerunning on an unchanged dataset rehydrates the
+// fitted model and evaluation from the artifact store.
+//
 // Usage:
 //
 //	sysid -i dataset.csv [-order 2] [-mode occupied] [-horizon 13h30m]
-//	      [-parallelism N] [-metrics-addr host:port] [-manifest out.json]
+//	      [-cache-dir DIR] [-force] [-parallelism N]
+//	      [-metrics-addr host:port] [-manifest out.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"time"
 
+	"auditherm/internal/artifact"
 	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 	"auditherm/internal/mat"
 	"auditherm/internal/obs"
+	"auditherm/internal/pipeline"
 	"auditherm/internal/stats"
 	"auditherm/internal/sysid"
 )
@@ -75,13 +84,30 @@ func run(rt *cliutil.Runtime, in string, orderN int, modeName string, horizon ti
 		"horizon": horizon.String(),
 	})
 
-	b.StartStage("load")
-	f, err := os.Open(in)
+	eng, err := rt.Engine(b)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	frame, err := dataset.ReadCSV(f)
+	idCfg := pipeline.IdentifyConfig{
+		Order: order, Mode: mode,
+		OnHour: onHour, OffHour: offHour,
+		MaxMissing: 0.1,
+	}
+	frameNode, err := pipeline.LoadFrame(eng, in)
+	if err != nil {
+		return err
+	}
+	modelNode := pipeline.Identify(eng, frameNode, idCfg)
+	evalNode := pipeline.Evaluate(eng, frameNode, modelNode, idCfg, horizon)
+
+	ctx := context.Background()
+	ev, err := evalNode.Get(ctx)
+	if err != nil {
+		return err
+	}
+	// Presentation context (channel counts, window split) comes from
+	// the frame; rehydrated or freshly loaded, the numbers match.
+	frame, err := frameNode.Get(ctx)
 	if err != nil {
 		return err
 	}
@@ -91,39 +117,19 @@ func run(rt *cliutil.Runtime, in string, orderN int, modeName string, horizon ti
 	}
 	fmt.Printf("loaded %s: %d sensors, %d inputs, %d steps at %v\n",
 		in, len(sensors), inputs.Rows(), frame.Grid.N, frame.Grid.Step)
-
 	wins := dataset.GridModeWindows(frame.Grid, mode, onHour, offHour)
-	usable := dataset.UsableWindows([]*mat.Dense{temps, inputs}, wins, 0.1)
-	if len(usable) < 4 {
-		return fmt.Errorf("only %d usable %v windows; need at least 4", len(usable), mode)
-	}
+	usable := dataset.UsableWindows([]*mat.Dense{temps, inputs}, wins, idCfg.MaxMissing)
 	train, valid := dataset.SplitWindows(usable)
 	fmt.Printf("%v windows: %d usable (%d train / %d validation)\n", mode, len(usable), len(train), len(valid))
 
-	data := sysid.Data{Temps: temps, Inputs: inputs}
-	b.StartStage("fit")
-	model, err := sysid.Fit(data, train, order, sysid.DefaultOptions())
-	if err != nil {
-		return err
-	}
-	rho, err := model.SpectralRadius()
-	if err != nil {
-		return err
-	}
-	b.StartStage("evaluate")
-	hSteps := int(horizon / frame.Grid.Step)
-	ev, err := sysid.Evaluate(model, data, valid, hSteps)
-	if err != nil {
-		return err
-	}
-	b.EndStage()
-	b.SetMetric("spectral_radius", rho)
+	b.SetMetric("spectral_radius", float64(ev.SpectralRadius))
 	b.SetMetric("evaluated_windows", float64(ev.Windows))
 	fmt.Printf("\n%v model: spectral radius %.4f, %d windows evaluated, horizon %v (%d steps)\n",
-		order, rho, ev.Windows, horizon, hSteps)
+		order, float64(ev.SpectralRadius), ev.Windows, horizon, ev.HorizonSteps)
 	fmt.Printf("%-8s %s\n", "sensor", "RMS (degC)")
-	for i, name := range sensors {
-		fmt.Printf("%-8s %.3f\n", name, ev.PerSensorRMS[i])
+	perRMS := artifact.Float64s(ev.PerSensorRMS)
+	for i, name := range ev.Sensors {
+		fmt.Printf("%-8s %.3f\n", name, perRMS[i])
 	}
 	for _, q := range []float64{50, 90, 99} {
 		v, err := ev.RMSPercentile(q)
@@ -133,27 +139,25 @@ func run(rt *cliutil.Runtime, in string, orderN int, modeName string, horizon ti
 		b.SetMetric(fmt.Sprintf("rms_p%.0f_degc", q), v)
 		fmt.Printf("%2.0fth percentile RMS: %.3f degC\n", q, v)
 	}
-	med, err := stats.Percentile(ev.PerSensorRMS, 50)
+	med, err := stats.Percentile(perRMS, 50)
 	if err == nil && med > 2 {
 		fmt.Println("warning: median RMS above 2 degC; check data quality or horizon")
 	}
 	if savePath != "" {
-		out, err := os.Create(savePath)
+		sm, err := modelNode.Get(ctx)
 		if err != nil {
-			return fmt.Errorf("creating %s: %w", savePath, err)
+			return err
 		}
-		defer out.Close()
-		inputNames := make([]string, inputs.Rows())
-		for i := range inputNames {
-			inputNames[i] = fmt.Sprintf("u%d", i+1)
-		}
-		if err := model.Save(out, &sysid.ModelNames{Sensors: sensors, Inputs: inputNames}); err != nil {
+		if err := artifact.WriteFileAtomic(savePath, func(w io.Writer) error {
+			return sm.Model.Save(w, sm.Names)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("model written to %s\n", savePath)
 	}
+	rt.PrintCacheSummary(eng)
 	if rt.ManifestRequested() {
-		b.StageCount("fit", "fits", obs.Default.CounterValue("auditherm_sysid_fits_total"))
+		b.StageCount("sysid", "fits", obs.Default.CounterValue("auditherm_sysid_fits_total"))
 		b.StageCount("evaluate", "evaluations", obs.Default.CounterValue("auditherm_sysid_evaluations_total"))
 	}
 	return rt.WriteManifest(b)

@@ -1,0 +1,320 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"auditherm/internal/timeseries"
+)
+
+func TestKeySensitivity(t *testing.T) {
+	base := Key("sysid", "sysid-model", 1, "cfg", []Digest{"aa", "bb"})
+	variants := []Digest{
+		Key("cluster", "sysid-model", 1, "cfg", []Digest{"aa", "bb"}),
+		Key("sysid", "frame", 1, "cfg", []Digest{"aa", "bb"}),
+		Key("sysid", "sysid-model", 2, "cfg", []Digest{"aa", "bb"}),
+		Key("sysid", "sysid-model", 1, "cfg2", []Digest{"aa", "bb"}),
+		Key("sysid", "sysid-model", 1, "cfg", []Digest{"aa"}),
+		Key("sysid", "sysid-model", 1, "cfg", []Digest{"aa", "bc"}),
+		Key("sysid", "sysid-model", 1, "cfg", []Digest{"bb", "aa"}),
+	}
+	seen := map[Digest]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Errorf("variant %d collided with a previous key", i)
+		}
+		seen[v] = true
+	}
+	if again := Key("sysid", "sysid-model", 1, "cfg", []Digest{"aa", "bb"}); again != base {
+		t.Errorf("key not deterministic: %s vs %s", again, base)
+	}
+}
+
+func TestKeyLengthPrefixing(t *testing.T) {
+	// Without length prefixes these two field sequences would
+	// concatenate identically.
+	a := Key("ab", "c", 1, "", nil)
+	b := Key("a", "bc", 1, "", nil)
+	if a == b {
+		t.Fatalf("field boundary collision: %s", a)
+	}
+	c := Key("s", "c", 1, "xy", []Digest{"z"})
+	d := Key("s", "c", 1, "x", []Digest{"yz"})
+	if c == d {
+		t.Fatalf("config/input boundary collision: %s", c)
+	}
+}
+
+func TestHashConfig(t *testing.T) {
+	a := HashConfig(map[string]string{"a": "1", "b": "2"})
+	b := HashConfig(map[string]string{"b": "2", "a": "1"})
+	if a != b {
+		t.Errorf("hash depends on map order: %s vs %s", a, b)
+	}
+	if c := HashConfig(map[string]string{"a": "1", "b": "3"}); c == a {
+		t.Errorf("hash ignores value change")
+	}
+}
+
+func TestStorePutStatOpen(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := HashBytes([]byte("some key material"))
+	payload := []byte("hello artifact\n")
+	info, err := st.Put(key, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Key != key {
+		t.Errorf("info key %s, want %s", info.Key, key)
+	}
+	if info.Bytes != int64(len(payload)) {
+		t.Errorf("info bytes %d, want %d", info.Bytes, len(payload))
+	}
+	if want := HashBytes(payload); info.Content != want {
+		t.Errorf("info content %s, want %s", info.Content, want)
+	}
+	if !st.Has(key) {
+		t.Error("Has reports stored key absent")
+	}
+	got, ok, err := st.Stat(key)
+	if err != nil || !ok {
+		t.Fatalf("Stat: ok=%v err=%v", ok, err)
+	}
+	if got != info {
+		t.Errorf("Stat %+v, want %+v", got, info)
+	}
+	rc, err := st.Open(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if !bytes.Equal(data, payload) {
+		t.Errorf("read %q, want %q", data, payload)
+	}
+	if _, ok, err := st.Stat(HashBytes([]byte("absent"))); err != nil || ok {
+		t.Errorf("absent key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStorePutFailureLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := HashBytes([]byte("k"))
+	boom := errors.New("encoder exploded")
+	if _, err := st.Put(key, func(w io.Writer) error {
+		fmt.Fprint(w, "partial bytes")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("Put error %v, want wrapped %v", err, boom)
+	}
+	if st.Has(key) {
+		t.Error("failed Put left an artifact behind")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-artifact-") {
+			t.Errorf("failed Put leaked temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, "original")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failed rewrite must leave the original untouched.
+	boom := errors.New("mid-write crash")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		fmt.Fprint(w, "corrupt partial")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("error %v, want wrapped %v", err, boom)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "original\n" {
+		t.Errorf("destination corrupted: %q", data)
+	}
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-artifact-") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.1, 1.0 / 3.0, 1e-300, -1e300,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.NaN(), math.Inf(1), math.Inf(-1), 22.519999999999996}
+	in := Floats(vals)
+	var buf bytes.Buffer
+	codec := JSONCodec[[]Float]("floats-test", 1)
+	if err := codec.Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	out, err := codec.Decode(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Float64s(out)
+	for i, want := range vals {
+		if math.IsNaN(want) {
+			if !math.IsNaN(got[i]) {
+				t.Errorf("index %d: got %v, want NaN", i, got[i])
+			}
+			continue
+		}
+		if got[i] != want {
+			t.Errorf("index %d: got %v, want %v (bits %x vs %x)",
+				i, got[i], want, math.Float64bits(got[i]), math.Float64bits(want))
+		}
+	}
+	// Re-encoding the decoded value must be bit-identical.
+	buf.Reset()
+	if err := codec.Encode(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != first {
+		t.Errorf("re-encode differs:\n%s\nvs\n%s", buf.String(), first)
+	}
+}
+
+func TestCodecEnvelopeChecks(t *testing.T) {
+	c1 := JSONCodec[int]("alpha", 1)
+	c2 := JSONCodec[int]("beta", 1)
+	c3 := JSONCodec[int]("alpha", 2)
+	var buf bytes.Buffer
+	if err := c1.Encode(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("foreign codec accepted")
+	}
+	if _, err := c3.Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("stale version accepted")
+	}
+	v, err := c1.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil || v != 42 {
+		t.Errorf("round trip: %v, %v", v, err)
+	}
+}
+
+func TestFrameCodecBitIdentical(t *testing.T) {
+	g := timeseries.Grid{Start: time.Date(2013, 1, 31, 0, 0, 0, 0, time.UTC), Step: 15 * time.Minute, N: 7}
+	f := timeseries.NewFrame(g, []string{"s1", "s2", "occ"})
+	vals := [][]float64{
+		{21.5, math.NaN(), 22.519999999999996, 1.0 / 3.0, -0.0, 1e-17, 25},
+		{math.NaN(), math.NaN(), 20, 20.25, 20.5, math.Inf(1), math.Inf(-1)},
+		{0, 0, 35, 90, 12, 0, 0},
+	}
+	for i, row := range vals {
+		copy(f.Values[i], row)
+	}
+	var buf bytes.Buffer
+	if err := FrameCodec.Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	got, err := FrameCodec.Decode(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != f.Grid {
+		t.Errorf("grid %+v, want %+v", got.Grid, f.Grid)
+	}
+	for i := range vals {
+		for k := range vals[i] {
+			a, b := got.Values[i][k], f.Values[i][k]
+			if math.Float64bits(a) != math.Float64bits(b) && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Errorf("cell [%d][%d]: %v vs %v", i, k, a, b)
+			}
+		}
+	}
+	buf.Reset()
+	if err := FrameCodec.Encode(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), first) {
+		t.Error("re-encoded frame differs from original encoding")
+	}
+}
+
+func TestClusterArtifactMembers(t *testing.T) {
+	ca := &ClusterArtifact{
+		Sensors: []string{"a", "b", "c", "d"},
+		Assign:  []int{1, 0, 1, 0},
+		K:       2,
+	}
+	ms := ca.Members()
+	if len(ms) != 2 || len(ms[0]) != 2 || len(ms[1]) != 2 {
+		t.Fatalf("members %v", ms)
+	}
+	if ms[0][0] != 1 || ms[0][1] != 3 || ms[1][0] != 0 || ms[1][1] != 2 {
+		t.Errorf("members %v, want [[1 3] [0 2]]", ms)
+	}
+}
+
+func TestSelectionCodecRoundTrip(t *testing.T) {
+	art := &SelectionArtifact{
+		Sensors:    []string{"s1", "s2", "s3"},
+		K:          2,
+		TrainSteps: 100,
+		ValidSteps: 90,
+		Methods: []MethodSelection{
+			{Method: "SMS", Selected: [][]int{{0}, {2}}, Score: Float(0.21)},
+			{Method: "SRS", Score: Float(0.35), Draws: 20},
+			{Method: "GP", Selected: [][]int{{1}, {2}}, Score: Float(math.NaN())},
+		},
+	}
+	var buf bytes.Buffer
+	if err := SelectionCodec.Encode(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	got, err := SelectionCodec.Decode(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 2 || len(got.Methods) != 3 || got.Methods[1].Draws != 20 {
+		t.Errorf("round trip mangled: %+v", got)
+	}
+	if !math.IsNaN(float64(got.Methods[2].Score)) {
+		t.Errorf("NaN score lost: %v", got.Methods[2].Score)
+	}
+	buf.Reset()
+	if err := SelectionCodec.Encode(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != first {
+		t.Error("re-encode differs")
+	}
+}

@@ -1,0 +1,147 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Codec is a versioned, self-describing encoder/decoder for one
+// artifact type. Name and Version participate in the cache key, so
+// bumping Version on a breaking format change invalidates every
+// artifact written under the old layout without touching the store.
+type Codec[T any] struct {
+	// Name identifies the artifact type ("frame", "dataset", ...).
+	Name string
+	// Version is bumped on breaking format changes.
+	Version int
+	// Encode writes v; the bytes must be deterministic for a given v so
+	// cache hits rehydrate bit-identically.
+	Encode func(w io.Writer, v T) error
+	// Decode reads a value written by Encode.
+	Decode func(r io.Reader) (T, error)
+}
+
+// envelope is the common JSON wrapper every codec writes: the codec
+// identity up front so a decoder can reject foreign or stale formats
+// before touching the payload.
+type envelope struct {
+	Codec   string          `json:"codec"`
+	Version int             `json:"version"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// encodeEnvelope writes {codec, version, data} as deterministic JSON.
+func encodeEnvelope(w io.Writer, name string, version int, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("artifact: encoding %s payload: %w", name, err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(envelope{Codec: name, Version: version, Data: raw})
+}
+
+// decodeEnvelope reads an envelope and checks its identity.
+func decodeEnvelope(r io.Reader, name string, version int) (json.RawMessage, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("artifact: decoding %s envelope: %w", name, err)
+	}
+	if env.Codec != name {
+		return nil, fmt.Errorf("artifact: codec %q, want %q", env.Codec, name)
+	}
+	if env.Version != version {
+		return nil, fmt.Errorf("artifact: %s format version %d, want %d", name, env.Version, version)
+	}
+	return env.Data, nil
+}
+
+// JSONCodec builds a codec for any plain JSON-round-trippable type
+// (no NaN/Inf floats unless wrapped in Float). The payload is wrapped
+// in the standard envelope.
+func JSONCodec[T any](name string, version int) Codec[T] {
+	return Codec[T]{
+		Name:    name,
+		Version: version,
+		Encode: func(w io.Writer, v T) error {
+			return encodeEnvelope(w, name, version, v)
+		},
+		Decode: func(r io.Reader) (T, error) {
+			var v T
+			raw, err := decodeEnvelope(r, name, version)
+			if err != nil {
+				return v, err
+			}
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return v, fmt.Errorf("artifact: decoding %s payload: %w", name, err)
+			}
+			return v, nil
+		},
+	}
+}
+
+// Float is a float64 that JSON-round-trips exactly: finite values are
+// emitted with strconv's shortest exact formatting (which encoding/json
+// also uses), while NaN and ±Inf — which plain JSON rejects — are
+// emitted as quoted strings. Cache artifacts use it anywhere a missing
+// value can appear (per-sensor RMS, frame cells, eigenvalues).
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' {
+		switch s {
+		case `"NaN"`:
+			*f = Float(math.NaN())
+			return nil
+		case `"+Inf"`, `"Inf"`:
+			*f = Float(math.Inf(1))
+			return nil
+		case `"-Inf"`:
+			*f = Float(math.Inf(-1))
+			return nil
+		}
+		return fmt.Errorf("artifact: invalid float literal %s", s)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("artifact: invalid float %s: %w", s, err)
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Floats converts a []float64 to its exact-round-trip form.
+func Floats(v []float64) []Float {
+	out := make([]Float, len(v))
+	for i, x := range v {
+		out[i] = Float(x)
+	}
+	return out
+}
+
+// Float64s converts back to []float64.
+func Float64s(v []Float) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}

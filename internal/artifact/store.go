@@ -1,0 +1,251 @@
+// Package artifact is the content-addressed on-disk store behind the
+// pipeline engine's warm cache, plus the versioned JSON codecs that
+// generalize the sysid/persist.go pattern to datasets, cluster
+// assignments and selections.
+//
+// An artifact is addressed by a Key: the SHA-256 of the stage name,
+// the codec name and version, the stage's config hash and the content
+// digests of its input artifacts. Two runs that would execute the same
+// stage over the same inputs therefore compute the same key and the
+// second one can skip the work and rehydrate the first one's output
+// bit-identically.
+//
+// Writes are crash-safe: every Put streams through a temp file in the
+// store root and is renamed into place only once fully written, so a
+// killed run never leaves a corrupt partial artifact — re-invoking the
+// run resumes from the last completed stage.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Digest is a lowercase hex SHA-256.
+type Digest string
+
+// Short returns a 12-character prefix for display.
+func (d Digest) Short() string {
+	if len(d) <= 12 {
+		return string(d)
+	}
+	return string(d[:12])
+}
+
+// Key derives the content-addressed cache key of one stage execution:
+// SHA-256 over the stage name, the codec identity (name@version), the
+// stage's config hash and the content digests of its inputs, all
+// length-prefixed so no two field sequences collide.
+func Key(stage, codecName string, codecVersion int, configHash string, inputs []Digest) Digest {
+	h := sha256.New()
+	field := func(s string) {
+		fmt.Fprintf(h, "%d:%s", len(s), s)
+	}
+	field(stage)
+	field(fmt.Sprintf("%s@%d", codecName, codecVersion))
+	field(configHash)
+	for _, in := range inputs {
+		field(string(in))
+	}
+	return Digest(hex.EncodeToString(h.Sum(nil)))
+}
+
+// HashConfig hashes a flat string map deterministically (sorted
+// key=value lines), the same scheme the obs run manifest uses for its
+// config_hash field.
+func HashConfig(cfg map[string]string) string {
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, cfg[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashBytes returns the content digest of a byte slice.
+func HashBytes(b []byte) Digest {
+	sum := sha256.Sum256(b)
+	return Digest(hex.EncodeToString(sum[:]))
+}
+
+// HashFile returns the content digest of a file's bytes.
+func HashFile(path string) (Digest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("artifact: hashing %s: %w", path, err)
+	}
+	return Digest(hex.EncodeToString(h.Sum(nil))), nil
+}
+
+// Info describes one stored artifact.
+type Info struct {
+	// Key is the cache key the artifact is stored under.
+	Key Digest
+	// Content is the digest of the stored bytes.
+	Content Digest
+	// Bytes is the stored size.
+	Bytes int64
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+// Artifacts live under <root>/<key[:2]>/<key>; temp files are written
+// in the root so the final rename stays on one filesystem. A Store is
+// safe for concurrent use: every write is independent and atomic.
+type Store struct {
+	root string
+}
+
+// Open creates (if needed) and returns the store at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: creating store root: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// Path returns where the artifact for key lives (whether or not it
+// exists yet).
+func (s *Store) Path(key Digest) string {
+	k := string(key)
+	if len(k) < 2 {
+		k = "__" + k
+	}
+	return filepath.Join(s.root, k[:2], string(key))
+}
+
+// Has reports whether an artifact for key is present.
+func (s *Store) Has(key Digest) bool {
+	st, err := os.Stat(s.Path(key))
+	return err == nil && st.Mode().IsRegular()
+}
+
+// Stat hashes the stored artifact for key and returns its info, or
+// ok=false when absent.
+func (s *Store) Stat(key Digest) (Info, bool, error) {
+	path := s.Path(key)
+	st, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Info{}, false, nil
+		}
+		return Info{}, false, err
+	}
+	content, err := HashFile(path)
+	if err != nil {
+		return Info{}, false, err
+	}
+	return Info{Key: key, Content: content, Bytes: st.Size()}, true, nil
+}
+
+// Open returns a reader over the artifact stored for key.
+func (s *Store) Open(key Digest) (io.ReadCloser, error) {
+	f, err := os.Open(s.Path(key))
+	if err != nil {
+		return nil, fmt.Errorf("artifact: opening %s: %w", key.Short(), err)
+	}
+	return f, nil
+}
+
+// Put writes an artifact under key atomically: the encoder streams
+// into a temp file in the store root which is fsynced and renamed into
+// place only on success. An encoder error or a crash mid-write leaves
+// no partial artifact behind. The returned Info carries the content
+// digest and size of the stored bytes.
+func (s *Store) Put(key Digest, encode func(io.Writer) error) (Info, error) {
+	final := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return Info{}, fmt.Errorf("artifact: creating shard dir: %w", err)
+	}
+	info := Info{Key: key}
+	err := writeAtomic(s.root, final, func(w io.Writer) error {
+		h := sha256.New()
+		cw := &countWriter{w: io.MultiWriter(w, h)}
+		if err := encode(cw); err != nil {
+			return err
+		}
+		info.Content = Digest(hex.EncodeToString(h.Sum(nil)))
+		info.Bytes = cw.n
+		return nil
+	})
+	if err != nil {
+		return Info{}, err
+	}
+	return info, nil
+}
+
+// WriteFileAtomic writes a file through the store's temp-then-rename
+// path without content addressing: the CLI-facing exports (saved
+// models, dataset CSVs) use it so a crash mid-write cannot leave a
+// corrupt partial file at the destination. The temp file lives next to
+// the destination so the rename stays on one filesystem.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	if dir == "" {
+		dir = "."
+	}
+	return writeAtomic(dir, path, write)
+}
+
+// writeAtomic streams write into a temp file under tmpDir and renames
+// it to final on success. On any error the temp file is removed.
+func writeAtomic(tmpDir, final string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(tmpDir, ".tmp-artifact-*")
+	if err != nil {
+		return fmt.Errorf("artifact: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return fmt.Errorf("artifact: encoding %s: %w", filepath.Base(final), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("artifact: syncing temp file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("artifact: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		tmpName = ""
+		return fmt.Errorf("artifact: publishing %s: %w", filepath.Base(final), err)
+	}
+	tmpName = "" // published; nothing to clean up
+	return nil
+}
+
+// countWriter counts bytes written through it.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

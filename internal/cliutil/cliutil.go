@@ -23,10 +23,12 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"time"
 
 	"auditherm/internal/monitor"
 	"auditherm/internal/obs"
 	"auditherm/internal/par"
+	"auditherm/internal/pipeline"
 )
 
 // Common holds the values of the shared flags after flag.Parse.
@@ -37,6 +39,8 @@ type Common struct {
 	Monitor     bool
 	AlertLog    string
 	LogLevel    string
+	CacheDir    string
+	Force       bool
 
 	// LogWriter overrides the structured-log destination (default
 	// os.Stderr). Not a flag; tests capture logs through it.
@@ -59,6 +63,10 @@ func RegisterOn(fs *flag.FlagSet, c *Common) {
 		"append model-health alarms and state transitions to this JSONL journal")
 	fs.StringVar(&c.LogLevel, "log-level", "info",
 		"structured log level: debug, info, warn or error")
+	fs.StringVar(&c.CacheDir, "cache-dir", os.Getenv("AUDITHERM_CACHE"),
+		"content-addressed artifact cache directory; warm stages are skipped and rehydrated bit-identically (default $AUDITHERM_CACHE, empty disables caching)")
+	fs.BoolVar(&c.Force, "force", false,
+		"recompute every pipeline stage even when its artifact is cached, refreshing the cache in place")
 }
 
 // Register installs the shared flags on the process-wide
@@ -149,6 +157,59 @@ func (rt *Runtime) AttachMonitor(m *monitor.Monitor) error {
 		rt.Metrics.AddReadiness("monitor", m.Readiness)
 	}
 	return nil
+}
+
+// Engine builds the run's pipeline engine over the -cache-dir artifact
+// store (caching disabled when the flag and $AUDITHERM_CACHE are both
+// empty), honoring -force and -parallelism, and recording per-stage
+// artifacts into b (which may be nil).
+func (rt *Runtime) Engine(b *obs.ManifestBuilder) (*pipeline.Engine, error) {
+	eng, err := pipeline.New(pipeline.Options{
+		CacheDir: rt.common.CacheDir,
+		Force:    rt.common.Force,
+		Manifest: b,
+		Workers:  rt.common.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", rt.Tool, err)
+	}
+	if eng.Cached() {
+		rt.Log.Info("pipeline cache enabled",
+			slog.String("dir", eng.Store().Dir()), slog.Bool("force", rt.common.Force))
+	}
+	return eng, nil
+}
+
+// PrintCacheSummary writes the engine's per-stage cache scoreboard to
+// stderr (so cached and uncached runs keep byte-identical stdout).
+// Silent when caching is off or nothing resolved.
+func (rt *Runtime) PrintCacheSummary(eng *pipeline.Engine) {
+	if eng == nil || !eng.Cached() {
+		return
+	}
+	results := eng.Results()
+	if len(results) == 0 {
+		return
+	}
+	hits := 0
+	for _, r := range results {
+		if r.CacheHit {
+			hits++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pipeline: %d/%d stages served warm from %s\n",
+		hits, len(results), eng.Store().Dir())
+	for _, r := range results {
+		status := "miss"
+		switch {
+		case r.CacheHit:
+			status = "hit"
+		case r.Key == "":
+			status = "uncached"
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s %-8s key=%s digest=%s bytes=%d wall=%v\n",
+			r.Stage, status, r.Key.Short(), r.Digest.Short(), r.Bytes, r.Wall.Round(time.Millisecond))
+	}
 }
 
 // NewManifest starts a manifest builder pre-seeded with the run's

@@ -52,6 +52,13 @@ func NewEnv(cfg dataset.Config) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating dataset: %w", err)
 	}
+	return NewEnvFromDataset(d)
+}
+
+// NewEnvFromDataset derives the experiment inputs from an existing
+// dataset — freshly generated or rehydrated from the artifact store;
+// both yield the same matrices, splits and downstream results.
+func NewEnvFromDataset(d *dataset.Dataset) (*Env, error) {
 	temps, err := d.TempsMatrix()
 	if err != nil {
 		return nil, err

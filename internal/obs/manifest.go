@@ -22,6 +22,18 @@ type StageStat struct {
 	Counts map[string]int64 `json:"counts,omitempty"`
 }
 
+// ArtifactStat records one pipeline stage's cache interaction in a
+// RunManifest: the content-addressed key the stage resolved to, the
+// digest and size of the artifact it produced or rehydrated, and
+// whether the stage was served from the warm cache.
+type ArtifactStat struct {
+	Key      string  `json:"key"`
+	Digest   string  `json:"digest,omitempty"`
+	Bytes    int64   `json:"bytes,omitempty"`
+	CacheHit bool    `json:"cache_hit"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
 // RunManifest captures the provenance and headline results of one CLI
 // or experiment run. It is written as JSON at the end of the run so
 // two runs can be diffed field by field.
@@ -48,10 +60,13 @@ type RunManifest struct {
 	Config     map[string]string `json:"config,omitempty"`
 	ConfigHash string            `json:"config_hash,omitempty"`
 
-	Stages  map[string]StageStat `json:"stages,omitempty"`
-	Spans   *SpanRecord          `json:"spans,omitempty"`
-	Metrics map[string]float64   `json:"metrics,omitempty"` // headline results: RMSE per order, cluster count, selection scores
-	Notes   []string             `json:"notes,omitempty"`
+	Stages map[string]StageStat `json:"stages,omitempty"`
+	// Artifacts records each pipeline stage's cache key, artifact
+	// digest and hit/miss outcome (see internal/pipeline).
+	Artifacts map[string]ArtifactStat `json:"artifacts,omitempty"`
+	Spans     *SpanRecord             `json:"spans,omitempty"`
+	Metrics   map[string]float64      `json:"metrics,omitempty"` // headline results: RMSE per order, cluster count, selection scores
+	Notes     []string                `json:"notes,omitempty"`
 }
 
 // ManifestBuilder accumulates a RunManifest over the lifetime of a
@@ -144,6 +159,24 @@ func (b *ManifestBuilder) EndStage() {
 	}
 	b.m.Stages[b.stageName] = st
 	b.stageName = ""
+}
+
+// AddStageWall accumulates externally measured wall time into a
+// stage's entry without the StartStage/EndStage bracket — the pipeline
+// engine uses it because its stages may run concurrently, which the
+// single open-stage bracket cannot express.
+func (b *ManifestBuilder) AddStageWall(name string, wall time.Duration) {
+	st := b.m.Stages[name]
+	st.WallMS += float64(wall) / float64(time.Millisecond)
+	b.m.Stages[name] = st
+}
+
+// StageArtifact records a pipeline stage's cache interaction.
+func (b *ManifestBuilder) StageArtifact(stage string, a ArtifactStat) {
+	if b.m.Artifacts == nil {
+		b.m.Artifacts = map[string]ArtifactStat{}
+	}
+	b.m.Artifacts[stage] = a
 }
 
 // StageCount attaches a tally to a stage (creating the stage entry if

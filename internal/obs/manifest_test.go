@@ -68,6 +68,34 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestManifestArtifactsAndStageWall(t *testing.T) {
+	b := NewManifest("t")
+	b.AddStageWall("simulate", 120*time.Millisecond)
+	b.AddStageWall("simulate", 30*time.Millisecond)
+	b.StageArtifact("simulate", ArtifactStat{
+		Key: "abcd", Digest: "ef01", Bytes: 2048, CacheHit: true, WallMS: 150,
+	})
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stages["simulate"].WallMS; got != 150 {
+		t.Errorf("accumulated stage wall %v ms, want 150", got)
+	}
+	a, ok := m.Artifacts["simulate"]
+	if !ok {
+		t.Fatalf("artifacts = %v", m.Artifacts)
+	}
+	if a.Key != "abcd" || a.Digest != "ef01" || a.Bytes != 2048 || !a.CacheHit || a.WallMS != 150 {
+		t.Errorf("artifact stat = %+v", a)
+	}
+}
+
 func TestManifestConfigHashDeterministic(t *testing.T) {
 	a := NewManifest("t")
 	a.SetConfig(map[string]string{"b": "2", "a": "1"})

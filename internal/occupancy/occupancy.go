@@ -137,6 +137,16 @@ func Generate(start, end time.Time, cfg GeneratorConfig) (*Schedule, error) {
 	return &Schedule{events: events}, nil
 }
 
+// NewSchedule builds a schedule from explicit events (copied and
+// sorted by start time). It rehydrates schedules persisted through the
+// artifact store: NewSchedule(s.Events()) reproduces s exactly.
+func NewSchedule(events []Event) *Schedule {
+	out := make([]Event, len(events))
+	copy(out, events)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return &Schedule{events: out}
+}
+
 // CameraConfig parameterizes the webcam occupancy observer.
 type CameraConfig struct {
 	// Interval is the snapshot period (15 minutes in the paper).

@@ -1,0 +1,32 @@
+package pipeline
+
+import "auditherm/internal/obs"
+
+// Pipeline-engine instrumentation on the obs Default registry: stage
+// executions split by cache outcome, artifact traffic and stage
+// latency, so a dashboard shows at a glance how much of a run was
+// served warm and how much was recomputed.
+var (
+	stagesTotal = obs.NewCounter("auditherm_pipeline_stages_total",
+		"Pipeline stages resolved (hits, misses and uncacheable runs).")
+	cacheHitsTotal = obs.NewCounter("auditherm_pipeline_cache_hits_total",
+		"Pipeline stages served from the content-addressed artifact store.")
+	cacheMissesTotal = obs.NewCounter("auditherm_pipeline_cache_misses_total",
+		"Pipeline stages recomputed and written to the store.")
+	uncacheableTotal = obs.NewCounter("auditherm_pipeline_uncacheable_total",
+		"Pipeline stages executed without caching (no store, NoCache, or uncacheable upstream).")
+	forceBypassTotal = obs.NewCounter("auditherm_pipeline_force_bypass_total",
+		"Cache entries deliberately bypassed by -force despite being present.")
+	decodesTotal = obs.NewCounter("auditherm_pipeline_decodes_total",
+		"Cached artifacts rehydrated on demand (lazy value decodes).")
+	writeBytesTotal = obs.NewCounter("auditherm_pipeline_artifact_write_bytes_total",
+		"Bytes written to the artifact store.")
+	readBytesTotal = obs.NewCounter("auditherm_pipeline_artifact_read_bytes_total",
+		"Bytes of cached artifacts accepted as hits (stat + hash on rehydration path).")
+	stageSeconds = obs.NewHistogram("auditherm_pipeline_stage_seconds",
+		"Wall time per resolved pipeline stage.",
+		[]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300})
+	decodeSeconds = obs.NewHistogram("auditherm_pipeline_decode_seconds",
+		"Wall time per lazy artifact decode.",
+		[]float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5})
+)

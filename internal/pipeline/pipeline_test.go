@@ -1,0 +1,433 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"auditherm/internal/artifact"
+	"auditherm/internal/obs"
+)
+
+var intCodec = artifact.JSONCodec[int]("test-int", 1)
+
+// newEngine builds an engine over dir (empty = uncached).
+func newEngine(t *testing.T, dir string, force bool) *Engine {
+	t.Helper()
+	e, err := New(Options{CacheDir: dir, Force: force})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// chain defines a three-stage chain a -> b -> c where each stage adds
+// its configured increment to its input, counting executions.
+type chain struct {
+	a, b, c          *Node[int]
+	runA, runB, runC *atomic.Int64
+}
+
+func defineChain(e *Engine, incB, incC int) chain {
+	var ra, rb, rc atomic.Int64
+	a := Define(e, "a", intCodec, map[string]string{"v": "1"}, nil,
+		func(ctx context.Context) (int, error) { ra.Add(1); return 1, nil })
+	b := Define(e, "b", intCodec, map[string]string{"inc": fmt.Sprint(incB)}, []AnyNode{a},
+		func(ctx context.Context) (int, error) {
+			rb.Add(1)
+			v, err := a.Get(ctx)
+			return v + incB, err
+		})
+	c := Define(e, "c", intCodec, map[string]string{"inc": fmt.Sprint(incC)}, []AnyNode{b},
+		func(ctx context.Context) (int, error) {
+			rc.Add(1)
+			v, err := b.Get(ctx)
+			return v + incC, err
+		})
+	return chain{a: a, b: b, c: c, runA: &ra, runB: &rb, runC: &rc}
+}
+
+func TestColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold := defineChain(newEngine(t, dir, false), 10, 100)
+	v, err := cold.c.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 111 {
+		t.Fatalf("cold value %d, want 111", v)
+	}
+	if cold.runA.Load() != 1 || cold.runB.Load() != 1 || cold.runC.Load() != 1 {
+		t.Errorf("cold runs a=%d b=%d c=%d, want 1 each", cold.runA.Load(), cold.runB.Load(), cold.runC.Load())
+	}
+	var coldRes [3]Result
+	for i, n := range []*Node[int]{cold.a, cold.b, cold.c} {
+		r, ok := n.Result()
+		if !ok {
+			t.Fatalf("stage %s has no result", n.Name())
+		}
+		if r.CacheHit {
+			t.Errorf("cold stage %s reported a hit", n.Name())
+		}
+		if r.Key == "" || r.Digest == "" || r.Bytes == 0 {
+			t.Errorf("cold stage %s missing key/digest/bytes: %+v", n.Name(), r)
+		}
+		coldRes[i] = r
+	}
+
+	warm := defineChain(newEngine(t, dir, false), 10, 100)
+	v, err = warm.c.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 111 {
+		t.Fatalf("warm value %d, want 111", v)
+	}
+	if n := warm.runA.Load() + warm.runB.Load() + warm.runC.Load(); n != 0 {
+		t.Errorf("warm run recomputed %d stages", n)
+	}
+	for i, n := range []*Node[int]{warm.a, warm.b, warm.c} {
+		r, ok := n.Result()
+		if !ok || !r.CacheHit {
+			t.Errorf("warm stage %s: hit=%v", n.Name(), r.CacheHit)
+		}
+		if r.Key != coldRes[i].Key || r.Digest != coldRes[i].Digest {
+			t.Errorf("warm stage %s key/digest drifted", n.Name())
+		}
+	}
+}
+
+func TestForceRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	if _, err := defineChain(newEngine(t, dir, false), 10, 100).c.Get(ctx); err != nil {
+		t.Fatal(err)
+	}
+	forced := defineChain(newEngine(t, dir, true), 10, 100)
+	if _, err := forced.c.Get(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if forced.runA.Load() != 1 || forced.runB.Load() != 1 || forced.runC.Load() != 1 {
+		t.Errorf("force runs a=%d b=%d c=%d, want 1 each", forced.runA.Load(), forced.runB.Load(), forced.runC.Load())
+	}
+}
+
+// TestExactInvalidation changes the middle stage's config and checks
+// that exactly b and c recompute — a stays warm (no over-invalidation)
+// and c does not survive (no under-invalidation).
+func TestExactInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	if _, err := defineChain(newEngine(t, dir, false), 10, 100).c.Get(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mut := defineChain(newEngine(t, dir, false), 20, 100)
+	v, err := mut.c.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 121 {
+		t.Fatalf("value %d, want 121", v)
+	}
+	if mut.runA.Load() != 0 {
+		t.Errorf("a recomputed %d times despite unchanged config", mut.runA.Load())
+	}
+	if mut.runB.Load() != 1 || mut.runC.Load() != 1 {
+		t.Errorf("b=%d c=%d runs, want 1 each", mut.runB.Load(), mut.runC.Load())
+	}
+	if r, _ := mut.a.Result(); !r.CacheHit {
+		t.Error("a should be a cache hit")
+	}
+	if r, _ := mut.b.Result(); r.CacheHit {
+		t.Error("b should be a miss after its config changed")
+	}
+	if r, _ := mut.c.Result(); r.CacheHit {
+		t.Error("c should be a miss after its input changed")
+	}
+}
+
+// TestEarlyCutoff: when a stage's config changes but its output bytes
+// are identical, downstream keys (derived from content digests, not
+// config) stay warm.
+func TestEarlyCutoff(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	define := func(e *Engine, label string) (*Node[int], *atomic.Int64) {
+		var runs atomic.Int64
+		b := Define(e, "b", intCodec, map[string]string{"label": label}, nil,
+			func(ctx context.Context) (int, error) { return 7, nil })
+		c := Define(e, "c", intCodec, nil, []AnyNode{b},
+			func(ctx context.Context) (int, error) {
+				runs.Add(1)
+				v, err := b.Get(ctx)
+				return v * 2, err
+			})
+		return c, &runs
+	}
+
+	c1, _ := define(newEngine(t, dir, false), "one")
+	if _, err := c1.Get(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// New label: b recomputes but produces the same bytes, so c hits.
+	c2, runs := define(newEngine(t, dir, false), "two")
+	v, err := c2.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 14 {
+		t.Fatalf("value %d, want 14", v)
+	}
+	if runs.Load() != 0 {
+		t.Errorf("c recomputed despite identical upstream content")
+	}
+	if r, _ := c2.Result(); !r.CacheHit {
+		t.Error("c should hit via early cutoff")
+	}
+}
+
+func TestDiamondExecutesSharedAncestorOnce(t *testing.T) {
+	e := newEngine(t, t.TempDir(), false)
+	var runs atomic.Int64
+	root := Define(e, "root", intCodec, nil, nil,
+		func(ctx context.Context) (int, error) { runs.Add(1); return 5, nil })
+	left := Define(e, "left", intCodec, nil, []AnyNode{root},
+		func(ctx context.Context) (int, error) { v, err := root.Get(ctx); return v + 1, err })
+	right := Define(e, "right", intCodec, nil, []AnyNode{root},
+		func(ctx context.Context) (int, error) { v, err := root.Get(ctx); return v + 2, err })
+	top := Define(e, "top", intCodec, nil, []AnyNode{left, right},
+		func(ctx context.Context) (int, error) {
+			l, err := left.Get(ctx)
+			if err != nil {
+				return 0, err
+			}
+			r, err := right.Get(ctx)
+			return l * r, err
+		})
+	v, err := top.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("value %d, want 42", v)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("shared root ran %d times", runs.Load())
+	}
+	if got := len(e.Results()); got != 4 {
+		t.Errorf("results %d, want 4", got)
+	}
+}
+
+func TestNoCachePropagates(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	define := func(e *Engine) (*Node[int], *Node[int], *atomic.Int64) {
+		var runs atomic.Int64
+		src := Define(e, "src", intCodec, nil, nil,
+			func(ctx context.Context) (int, error) { runs.Add(1); return 3, nil }, NoCache())
+		sink := Define(e, "sink", intCodec, nil, []AnyNode{src},
+			func(ctx context.Context) (int, error) { v, err := src.Get(ctx); return v + 1, err })
+		return src, sink, &runs
+	}
+	for round := 0; round < 2; round++ {
+		src, sink, runs := define(newEngine(t, dir, false))
+		if _, err := sink.Get(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if runs.Load() != 1 {
+			t.Errorf("round %d: NoCache stage ran %d times", round, runs.Load())
+		}
+		if r, _ := src.Result(); r.Key != "" || r.CacheHit {
+			t.Errorf("round %d: NoCache stage got key %q hit=%v", round, r.Key, r.CacheHit)
+		}
+		if r, _ := sink.Result(); r.Key != "" || r.CacheHit {
+			t.Errorf("round %d: downstream of NoCache got key %q hit=%v", round, r.Key, r.CacheHit)
+		}
+	}
+}
+
+func TestUncachedEngine(t *testing.T) {
+	e := newEngine(t, "", false)
+	if e.Cached() {
+		t.Error("engine without cache dir reports cached")
+	}
+	n := Define(e, "n", intCodec, nil, nil,
+		func(ctx context.Context) (int, error) { return 9, nil })
+	v, err := n.Get(context.Background())
+	if err != nil || v != 9 {
+		t.Fatalf("value %d err %v", v, err)
+	}
+	if r, _ := n.Result(); r.Key != "" || r.CacheHit {
+		t.Errorf("uncached engine produced key %q hit=%v", r.Key, r.CacheHit)
+	}
+}
+
+// TestResumeAfterFailure: when a downstream stage fails mid-run, the
+// completed upstream artifacts survive and a re-invocation resumes from
+// them without recomputing.
+func TestResumeAfterFailure(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	boom := errors.New("simulated crash")
+
+	e1 := newEngine(t, dir, false)
+	var aRuns atomic.Int64
+	a1 := Define(e1, "a", intCodec, nil, nil,
+		func(ctx context.Context) (int, error) { aRuns.Add(1); return 1, nil })
+	b1 := Define(e1, "b", intCodec, nil, []AnyNode{a1},
+		func(ctx context.Context) (int, error) { return 0, boom })
+	if _, err := b1.Get(ctx); !errors.Is(err, boom) {
+		t.Fatalf("error %v, want %v", err, boom)
+	}
+	if aRuns.Load() != 1 {
+		t.Fatalf("a ran %d times", aRuns.Load())
+	}
+
+	// "Restart": new engine, same store; b now succeeds; a must hit.
+	e2 := newEngine(t, dir, false)
+	var aRuns2 atomic.Int64
+	a2 := Define(e2, "a", intCodec, nil, nil,
+		func(ctx context.Context) (int, error) { aRuns2.Add(1); return 1, nil })
+	b2 := Define(e2, "b", intCodec, nil, []AnyNode{a2},
+		func(ctx context.Context) (int, error) { v, err := a2.Get(ctx); return v + 1, err })
+	v, err := b2.Get(ctx)
+	if err != nil || v != 2 {
+		t.Fatalf("resume value %d err %v", v, err)
+	}
+	if aRuns2.Load() != 0 {
+		t.Error("a recomputed on resume")
+	}
+	if r, _ := a2.Result(); !r.CacheHit {
+		t.Error("a should resume warm")
+	}
+}
+
+// TestFailedStageErrorPropagates checks repeated Gets and downstream
+// consumers observe the memoized error.
+func TestFailedStageErrorPropagates(t *testing.T) {
+	e := newEngine(t, t.TempDir(), false)
+	boom := errors.New("nope")
+	var runs atomic.Int64
+	bad := Define(e, "bad", intCodec, nil, nil,
+		func(ctx context.Context) (int, error) { runs.Add(1); return 0, boom })
+	sink := Define(e, "sink", intCodec, nil, []AnyNode{bad},
+		func(ctx context.Context) (int, error) { return bad.Get(ctx) })
+	ctx := context.Background()
+	if _, err := sink.Get(ctx); !errors.Is(err, boom) {
+		t.Fatalf("error %v, want %v", err, boom)
+	}
+	if _, err := bad.Get(ctx); !errors.Is(err, boom) {
+		t.Fatalf("second Get error %v, want %v", err, boom)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("failed stage ran %d times", runs.Load())
+	}
+	if _, ok := bad.Result(); ok {
+		t.Error("failed stage reported a usable result")
+	}
+	if got := len(e.Results()); got != 0 {
+		t.Errorf("Results returned %d entries for a failed run", got)
+	}
+}
+
+func TestManifestRecords(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	runOnce := func() (hits int, stats map[string]obs.ArtifactStat) {
+		b := obs.NewManifest("pipeline-test")
+		e, err := New(Options{CacheDir: dir, Manifest: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := defineChain(e, 10, 100)
+		if _, err := ch.c.Get(ctx); err != nil {
+			t.Fatal(err)
+		}
+		m := b.Finish()
+		for _, a := range m.Artifacts {
+			if a.CacheHit {
+				hits++
+			}
+		}
+		return hits, m.Artifacts
+	}
+
+	hits, stats := runOnce()
+	if hits != 0 {
+		t.Errorf("cold run recorded %d hits", hits)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("cold run recorded %d artifacts, want 3", len(stats))
+	}
+	for name, a := range stats {
+		if a.Key == "" || a.Digest == "" || a.Bytes == 0 {
+			t.Errorf("stage %s stat incomplete: %+v", name, a)
+		}
+	}
+	hits, stats = runOnce()
+	if hits != 3 {
+		t.Errorf("warm run recorded %d hits, want 3", hits)
+	}
+	if len(stats) != 3 {
+		t.Errorf("warm run recorded %d artifacts, want 3", len(stats))
+	}
+}
+
+// TestLazyDecode: a warm run that never reads an intermediate value
+// must not decode its artifact.
+func TestLazyDecode(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	if _, err := defineChain(newEngine(t, dir, false), 10, 100).c.Get(ctx); err != nil {
+		t.Fatal(err)
+	}
+	warm := defineChain(newEngine(t, dir, false), 10, 100)
+	if err := warm.c.inner().resolve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*Node[int]{warm.a, warm.b, warm.c} {
+		n.inner().vmu.Lock()
+		decoded := n.inner().decoded
+		n.inner().vmu.Unlock()
+		if decoded {
+			t.Errorf("stage %s decoded without a consumer", n.Name())
+		}
+	}
+	// Demanding the value decodes on the spot.
+	if v, err := warm.c.Get(ctx); err != nil || v != 111 {
+		t.Fatalf("lazy value %d err %v", v, err)
+	}
+}
+
+func TestConcurrentGets(t *testing.T) {
+	e := newEngine(t, t.TempDir(), false)
+	var runs atomic.Int64
+	n := Define(e, "n", intCodec, nil, nil,
+		func(ctx context.Context) (int, error) { runs.Add(1); return 77, nil })
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			v, err := n.Get(context.Background())
+			if err == nil && v != 77 {
+				err = fmt.Errorf("value %d", v)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs.Load() != 1 {
+		t.Errorf("stage ran %d times under concurrent Gets", runs.Load())
+	}
+}
