@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-par bench-gp bench-monitor bench-pipeline clean
+.PHONY: check vet build test race bench bench-par bench-gp bench-monitor bench-pipeline bench-trace benchdiff clean
 
 check: vet build race test
 
@@ -26,9 +26,13 @@ build:
 # all eight get the race detector every time. internal/pipeline
 # resolves DAG dependencies concurrently and memoizes nodes across
 # goroutines, and internal/artifact backs it with concurrent
-# atomic-rename writes; both join the gate.
+# atomic-rename writes; both join the gate. The tracing subsystem
+# rides the same gate: obs spans mutate under par workers
+# (TestConcurrentSpanMutation drives StartChild/SetAttr/Event/End from
+# 8 goroutines against a live JSONL exporter), and internal/traceview
+# parses what they emit.
 race:
-	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat ./internal/monitor ./internal/pipeline ./internal/artifact
+	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat ./internal/monitor ./internal/pipeline ./internal/artifact ./internal/traceview
 
 test:
 	$(GO) test ./...
@@ -68,6 +72,23 @@ bench-monitor:
 # written.
 bench-pipeline:
 	$(GO) test ./internal/benchpipeline -run RecordPipelineBench -record-pipeline-bench
+
+# Regenerate the tracing hot-path baseline in BENCH_trace.json (span
+# lifecycle, JSONL export, histogram exemplars). The zero-alloc gates
+# — trace encode 0 allocs/op, ObserveSpan 0 allocs/op, exporter adds 0
+# allocs to span end — must hold or the file is not written.
+bench-trace:
+	$(GO) test ./internal/obs -run RecordTraceBench -record-trace-bench
+
+# Re-run every runnable benchmark recorded in the BENCH_*.json
+# baselines and fail (exit 2) on ns/op regressions beyond the
+# tolerance or any allocs/op increase. The target widens the ns/op
+# tolerance to 50% (CLI default is 25%) because shared/virtualized
+# hosts show that much run-to-run timing noise; the allocs/op gates
+# are exact regardless. CI runs the BENCH_trace.json subset with
+# -benchtime 1x as a smoke test.
+benchdiff:
+	$(GO) run ./cmd/tracetool benchdiff -tolerance 0.5
 
 clean:
 	$(GO) clean ./...

@@ -71,8 +71,10 @@ func run(rt *cliutil.Runtime, days int, seed int64, out, truthOut string) error 
 	}
 	sim := pipeline.Simulate(eng, cfg)
 
+	ctx, root := rt.Trace(context.Background(), b)
 	t0 := time.Now()
-	d, err := sim.Get(context.Background())
+	d, err := sim.Get(ctx)
+	root.End()
 	if err != nil {
 		return err
 	}

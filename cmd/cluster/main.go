@@ -82,7 +82,9 @@ func run(rt *cliutil.Runtime, in, metricName string, k, onHour, offHour int) err
 
 	// The report prints purely from the cluster artifact, so a warm
 	// rerun needs neither the trace matrix nor the similarity graph.
-	ca, err := clusterNode.Get(context.Background())
+	ctx, root := rt.Trace(context.Background(), b)
+	ca, err := clusterNode.Get(ctx)
+	root.End()
 	if err != nil {
 		return err
 	}

@@ -137,8 +137,10 @@ func run(rt *cliutil.Runtime, name string, days int, setpoint, flow float64, see
 		Seed: seed, Start: start,
 	}, customize)
 
+	ctx, root := rt.Trace(context.Background(), b)
 	fmt.Printf("running %s controller over %d days (setpoint %.1f degC)...\n", name, days, setpoint)
-	res, err := node.Get(context.Background())
+	res, err := node.Get(ctx)
+	root.End()
 	if err != nil {
 		return err
 	}

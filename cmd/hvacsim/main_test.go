@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"auditherm/internal/cliutil"
 	"auditherm/internal/monitor"
 	"auditherm/internal/obs"
+	"auditherm/internal/traceview"
 )
 
 func testRuntime(t *testing.T, c *cliutil.Common) *cliutil.Runtime {
@@ -189,5 +191,75 @@ func TestMonitorEndToEnd(t *testing.T) {
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Fatalf("non-JSON log line %q: %v", line, err)
 		}
+	}
+}
+
+// TestTraceAlarmCorrelation: a traced, monitored, faulted run joins
+// the alert journal to the trace — every alarm entry carries the root
+// span's ID, the trace meta carries the same run ID as the journal,
+// and the root span records the alarms as timestamped events.
+func TestTraceAlarmCorrelation(t *testing.T) {
+	dir := t.TempDir()
+	alertPath := filepath.Join(dir, "alerts.jsonl")
+	tracePath := filepath.Join(dir, "run.trace.jsonl")
+	rt := testRuntime(t, &cliutil.Common{
+		Monitor:  true,
+		AlertLog: alertPath,
+		Trace:    tracePath,
+		LogLevel: "error",
+	})
+	if err := run(rt, "deadband", 1, 21, 0.3, 1,
+		0, 10*time.Hour, 3*time.Hour, 24); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close() // flush trace and journal
+
+	tr, err := traceview.ReadTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Tool != "hvacsim" || tr.Meta.RunID != rt.RunID {
+		t.Fatalf("trace meta %+v, want run %s", tr.Meta, rt.RunID)
+	}
+	if len(tr.Roots) != 1 {
+		t.Fatalf("trace roots: %d", len(tr.Roots))
+	}
+	root := tr.Roots[0]
+	rootID := fmt.Sprintf("sp-%d", root.ID)
+
+	entries, err := monitor.ReadJournal(alertPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := 0
+	for _, e := range entries {
+		if e.Kind != "alarm" {
+			continue
+		}
+		alarms++
+		if e.RunID != rt.RunID {
+			t.Fatalf("journal run_id %q, want %q", e.RunID, rt.RunID)
+		}
+		if e.SpanID != rootID {
+			t.Errorf("alarm span_id %q, want %q", e.SpanID, rootID)
+		}
+	}
+	if alarms == 0 {
+		t.Fatal("faulted run raised no alarms")
+	}
+
+	// The joined view from the trace side: monitor events on the root
+	// span, timestamped inside its interval.
+	monEvents := 0
+	for _, ev := range root.Events {
+		if strings.HasPrefix(ev.Name, "monitor/") {
+			monEvents++
+			if ev.TimeNS < root.StartNS || ev.TimeNS > root.EndNS {
+				t.Errorf("monitor event at %d outside span [%d, %d]", ev.TimeNS, root.StartNS, root.EndNS)
+			}
+		}
+	}
+	if int64(monEvents)+root.DroppedEvents == 0 {
+		t.Error("root span has no monitor events (and none dropped)")
 	}
 }

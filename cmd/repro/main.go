@@ -72,8 +72,7 @@ func run(rt *cliutil.Runtime, w io.Writer, only string, short bool, cfg dataset.
 		"short":        fmt.Sprint(short),
 		"control_days": fmt.Sprint(controlDays),
 	})
-	ctx, root := obs.StartSpan(context.Background(), "repro")
-	b.SetRootSpan(root)
+	ctx, root := rt.Trace(context.Background(), b)
 
 	eng, err := rt.Engine(b)
 	if err != nil {

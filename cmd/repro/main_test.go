@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 	"auditherm/internal/obs"
+	"auditherm/internal/traceview"
 )
 
 func testRuntime(t *testing.T, c *cliutil.Common) *cliutil.Runtime {
@@ -205,6 +207,87 @@ func TestForceRecomputesButMatches(t *testing.T) {
 		if st.CacheHit {
 			t.Errorf("forced run reported a cache hit for %s", stage)
 		}
+	}
+}
+
+// TestTraceRoundTrip is the tracing acceptance path: a -trace run
+// writes a JSONL trace whose pipeline spans carry cache hit/miss
+// attributes, the manifest references the trace file (plus the
+// environment fields diff/benchdiff compare), and both tracetool
+// renderers — the text report and the Chrome converter — consume it.
+func TestTraceRoundTrip(t *testing.T) {
+	cache := t.TempDir()
+	dir := t.TempDir()
+	cfg := smallConfig()
+
+	// Cold fig2 run warms simulate + exp-summary in the cache.
+	rt := testRuntime(t, &cliutil.Common{CacheDir: cache})
+	var cold bytes.Buffer
+	if err := run(rt, &cold, "fig2", false, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+
+	// Traced fig6 run: cache hits (simulate, exp-summary) plus a miss
+	// (exp-fig6) land in one trace.
+	tracePath := filepath.Join(dir, "run.trace.jsonl")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	rt2 := testRuntime(t, &cliutil.Common{
+		CacheDir: cache, Manifest: manifestPath, Trace: tracePath,
+	})
+	var out bytes.Buffer
+	if err := run(rt2, &out, "fig6", false, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	rt2.Close() // flush and close the trace file
+
+	m := readManifest(t, manifestPath)
+	if m.TraceFile != tracePath {
+		t.Errorf("manifest trace_file %q, want %q", m.TraceFile, tracePath)
+	}
+	if m.GoVersion == "" || m.NumCPU == 0 || m.GoMaxProcs == 0 {
+		t.Errorf("manifest missing environment fields: go=%q cpus=%d maxprocs=%d",
+			m.GoVersion, m.NumCPU, m.GoMaxProcs)
+	}
+
+	tr, err := traceview.ReadTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.RunID != rt2.RunID || tr.Meta.Tool != "repro" {
+		t.Errorf("trace meta run %q tool %q, want %q/repro", tr.Meta.RunID, tr.Meta.Tool, rt2.RunID)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "repro" {
+		t.Fatalf("trace roots: %+v", tr.Roots)
+	}
+	hit := map[string]any{}
+	for _, sp := range tr.Spans {
+		if strings.HasPrefix(sp.Name, "pipeline/") {
+			hit[sp.Name] = sp.Attrs["cache_hit"]
+		}
+	}
+	if hit["pipeline/simulate"] != true {
+		t.Errorf("simulate span cache_hit = %v, want true (attrs by stage: %v)", hit["pipeline/simulate"], hit)
+	}
+	if hit["pipeline/exp-fig6"] != false {
+		t.Errorf("exp-fig6 span cache_hit = %v, want false", hit["pipeline/exp-fig6"])
+	}
+
+	var report strings.Builder
+	if err := traceview.WriteReport(&report, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pipeline/simulate", "cache_hit=true", "# critical path"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, report.String())
+		}
+	}
+	var chrome strings.Builder
+	if err := traceview.WriteChrome(&chrome, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(chrome.String())) {
+		t.Error("chrome conversion is not valid JSON")
 	}
 }
 

@@ -87,12 +87,13 @@ func run(rt *cliutil.Runtime, in string, k, seeds, onHour, offHour int, gpMode s
 		Seeds: seeds, GPMode: gpMode,
 	})
 
-	ctx := context.Background()
+	ctx, root := rt.Trace(context.Background(), b)
 	sa, err := selNode.Get(ctx)
 	if err != nil {
 		return err
 	}
 	ca, err := clusterNode.Get(ctx)
+	root.End()
 	if err != nil {
 		return err
 	}

@@ -100,7 +100,7 @@ func run(rt *cliutil.Runtime, in string, orderN int, modeName string, horizon ti
 	modelNode := pipeline.Identify(eng, frameNode, idCfg)
 	evalNode := pipeline.Evaluate(eng, frameNode, modelNode, idCfg, horizon)
 
-	ctx := context.Background()
+	ctx, root := rt.Trace(context.Background(), b)
 	ev, err := evalNode.Get(ctx)
 	if err != nil {
 		return err
@@ -155,6 +155,7 @@ func run(rt *cliutil.Runtime, in string, orderN int, modeName string, horizon ti
 		}
 		fmt.Printf("model written to %s\n", savePath)
 	}
+	root.End()
 	rt.PrintCacheSummary(eng)
 	if rt.ManifestRequested() {
 		b.StageCount("sysid", "fits", obs.Default.CounterValue("auditherm_sysid_fits_total"))

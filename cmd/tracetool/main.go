@@ -1,0 +1,238 @@
+// Command tracetool is the offline observatory over auditherm's run
+// artifacts: it renders -trace JSONL span files as text reports or
+// Chrome trace_event JSON, diffs the stage timings of two runs (traces
+// or manifests), and gates live benchmark performance against the
+// repo's recorded BENCH_*.json baselines.
+//
+// Usage:
+//
+//	tracetool report <trace.jsonl>
+//	tracetool chrome <trace.jsonl> [-o out.json]
+//	tracetool diff <runA> <runB>          (trace or manifest each)
+//	tracetool benchdiff [-baseline BENCH_obs.json ...] [-tolerance 0.25]
+//	                    [-benchtime 1x] [-input canned.txt] [-host-check warn]
+//
+// benchdiff exits 2 on a regression so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"auditherm/internal/traceview"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = report(os.Args[2:])
+	case "chrome":
+		err = chrome(os.Args[2:])
+	case "diff":
+		err = diff(os.Args[2:])
+	case "benchdiff":
+		err = benchdiff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tracetool: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracetool report <trace.jsonl>          flame report, per-stage summary, critical path
+  tracetool chrome <trace.jsonl> [-o f]   convert to Chrome trace_event JSON (Perfetto)
+  tracetool diff <runA> <runB>            stage-level wall-time diff (trace or manifest)
+  tracetool benchdiff [flags]             gate live benchmarks against BENCH_*.json`)
+}
+
+func report(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: want one trace file, got %d args", fs.NArg())
+	}
+	tr, err := traceview.ReadTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return traceview.WriteReport(os.Stdout, tr)
+}
+
+func chrome(args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("chrome: want one trace file, got %d args", fs.NArg())
+	}
+	tr, err := traceview.ReadTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return traceview.WriteChrome(w, tr)
+}
+
+func diff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want two run files (trace or manifest), got %d args", fs.NArg())
+	}
+	a, err := traceview.LoadRun(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := traceview.LoadRun(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	return traceview.WriteDiff(os.Stdout, a, b)
+}
+
+// multiFlag collects a repeatable -baseline flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func benchdiff(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	var baselines multiFlag
+	fs.Var(&baselines, "baseline", "baseline BENCH_*.json file (repeatable; default: ./BENCH_*.json)")
+	tol := fs.Float64("tolerance", 0.25, "relative ns/op slack before a slowdown is a regression")
+	benchtime := fs.String("benchtime", "", "go test -benchtime (e.g. 1x for a smoke pass; empty keeps the go default)")
+	input := fs.String("input", "", "parse canned `go test -bench` output from this file instead of running benchmarks")
+	hostCheck := fs.String("host-check", "warn", "recorded-vs-live environment policy: warn, strict (mismatch fails) or ignore")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *hostCheck {
+	case "warn", "strict", "ignore":
+	default:
+		return fmt.Errorf("benchdiff: -host-check %q (want warn, strict or ignore)", *hostCheck)
+	}
+	if len(baselines) == 0 {
+		found, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+		baselines = found
+	}
+	if len(baselines) == 0 {
+		return fmt.Errorf("benchdiff: no baseline files (pass -baseline or run from the repo root)")
+	}
+	sort.Strings(baselines)
+
+	var all []traceview.Baseline
+	mismatched := false
+	for _, path := range baselines {
+		bs, env, err := traceview.LoadBaselines(path)
+		if err != nil {
+			return err
+		}
+		if mm := env.Mismatch(); mm != "" && *hostCheck != "ignore" {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s recorded on a different environment: %s\n", path, mm)
+			mismatched = true
+		}
+		all = append(all, bs...)
+	}
+	if mismatched && *hostCheck == "strict" {
+		return fmt.Errorf("benchdiff: environment mismatch under -host-check strict; timings are not comparable")
+	}
+
+	live := map[string]map[string]traceview.BenchResult{}
+	record := func(pkg string, results []traceview.BenchResult) {
+		if live[pkg] == nil {
+			live[pkg] = map[string]traceview.BenchResult{}
+		}
+		for _, r := range results {
+			live[pkg][r.Name] = r
+		}
+	}
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		results, perr := traceview.ParseGoBench(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+		// Canned output carries no package identity: offer each result
+		// under every package a baseline wants, name match decides.
+		pkgs := map[string]bool{}
+		for _, b := range all {
+			if b.Pkg != "" {
+				pkgs[b.Pkg] = true
+			}
+		}
+		for pkg := range pkgs {
+			record(pkg, results)
+		}
+	} else {
+		byPkg := map[string][]string{}
+		for _, b := range all {
+			if b.Pkg != "" {
+				byPkg[b.Pkg] = append(byPkg[b.Pkg], b.Fn)
+			}
+		}
+		pkgs := make([]string, 0, len(byPkg))
+		for pkg := range byPkg {
+			pkgs = append(pkgs, pkg)
+		}
+		sort.Strings(pkgs)
+		for _, pkg := range pkgs {
+			fmt.Fprintf(os.Stderr, "benchdiff: running %d benchmarks in %s...\n", len(byPkg[pkg]), pkg)
+			out, err := traceview.RunGoBench(pkg, byPkg[pkg], *benchtime)
+			if err != nil {
+				return err
+			}
+			results, err := traceview.ParseGoBench(strings.NewReader(out))
+			if err != nil {
+				return err
+			}
+			record(pkg, results)
+		}
+	}
+
+	cs := traceview.Compare(all, live, *tol)
+	traceview.WriteComparisons(os.Stdout, cs)
+	if traceview.Failed(cs) {
+		os.Exit(2)
+	}
+	return nil
+}

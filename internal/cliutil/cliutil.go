@@ -18,6 +18,7 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +42,7 @@ type Common struct {
 	LogLevel    string
 	CacheDir    string
 	Force       bool
+	Trace       string
 
 	// LogWriter overrides the structured-log destination (default
 	// os.Stderr). Not a flag; tests capture logs through it.
@@ -67,6 +69,8 @@ func RegisterOn(fs *flag.FlagSet, c *Common) {
 		"content-addressed artifact cache directory; warm stages are skipped and rehydrated bit-identically (default $AUDITHERM_CACHE, empty disables caching)")
 	fs.BoolVar(&c.Force, "force", false,
 		"recompute every pipeline stage even when its artifact is cached, refreshing the cache in place")
+	fs.StringVar(&c.Trace, "trace", "",
+		"stream completed spans to this JSONL trace file (inspect with tracetool report / chrome)")
 }
 
 // Register installs the shared flags on the process-wide
@@ -88,8 +92,11 @@ type Runtime struct {
 	// Metrics is the HTTP server, or nil when -metrics-addr is unset.
 	Metrics *obs.MetricsServer
 
-	common  *Common
-	journal *monitor.Journal
+	common   *Common
+	journal  *monitor.Journal
+	trace    *obs.TraceFile
+	root     *obs.Span
+	monitors []*monitor.Monitor
 }
 
 // Start applies the parsed shared flags: sets the parallel worker
@@ -111,6 +118,15 @@ func (c *Common) Start(tool string) (*Runtime, error) {
 		logw = c.LogWriter
 	}
 	rt.Log = obs.NewLogger(logw, level, rt.RunID).With(slog.String("tool", tool))
+	if c.Trace != "" {
+		t, err := obs.CreateTrace(c.Trace, rt.RunID, tool)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tool, err)
+		}
+		obs.SetTraceExporter(t)
+		rt.trace = t
+		rt.Log.Info("trace enabled", slog.String("path", t.Path()))
+	}
 	if c.MetricsAddr != "" {
 		ms, err := obs.ServeMetrics(c.MetricsAddr, obs.Default)
 		if err != nil {
@@ -120,6 +136,27 @@ func (c *Common) Start(tool string) (*Runtime, error) {
 		fmt.Printf("metrics: %s/metrics\n", ms.URL())
 	}
 	return rt, nil
+}
+
+// Trace begins the run's root span (named after the tool) and wires it
+// into the shared surface: the manifest builder (when given), the
+// /debug/trace live report (when serving metrics), and any monitors
+// already attached — monitors attached later are wired by
+// AttachMonitor. The returned context carries the span; pass it to the
+// pipeline stages. Close ends the span if the caller has not.
+func (rt *Runtime) Trace(ctx context.Context, b *obs.ManifestBuilder) (context.Context, *obs.Span) {
+	sctx, root := obs.StartSpan(ctx, rt.Tool)
+	rt.root = root
+	if b != nil {
+		b.SetRootSpan(root)
+	}
+	if rt.Metrics != nil {
+		rt.Metrics.SetTraceSource(func() *obs.Span { return root })
+	}
+	for _, m := range rt.monitors {
+		m.SetSpan(root)
+	}
+	return sctx, root
 }
 
 // MonitorEnabled reports whether -monitor was passed.
@@ -143,7 +180,9 @@ func (rt *Runtime) Journal() (*monitor.Journal, error) {
 
 // AttachMonitor wires a model-health monitor into the run's shared
 // surface: the structured logger, the alert journal (when requested),
-// and a "monitor" readiness check on /readyz (when serving metrics).
+// a "monitor" readiness check on /readyz (when serving metrics), and
+// the run's root span (so alarms carry its ID into the journal),
+// whichever of AttachMonitor and Trace runs first.
 func (rt *Runtime) AttachMonitor(m *monitor.Monitor) error {
 	m.SetLogger(rt.Log)
 	j, err := rt.Journal()
@@ -156,6 +195,10 @@ func (rt *Runtime) AttachMonitor(m *monitor.Monitor) error {
 	if rt.Metrics != nil {
 		rt.Metrics.AddReadiness("monitor", m.Readiness)
 	}
+	if rt.root != nil {
+		m.SetSpan(rt.root)
+	}
+	rt.monitors = append(rt.monitors, m)
 	return nil
 }
 
@@ -220,6 +263,12 @@ func (rt *Runtime) NewManifest() *obs.ManifestBuilder {
 	if rt.common.AlertLog != "" {
 		b.SetAlertLog(rt.common.AlertLog)
 	}
+	if rt.trace != nil {
+		b.SetTraceFile(rt.trace.Path())
+	}
+	if rt.root != nil {
+		b.SetRootSpan(rt.root)
+	}
 	return b
 }
 
@@ -240,9 +289,21 @@ func (rt *Runtime) WriteManifest(b *obs.ManifestBuilder) error {
 // only compute expensive summary metrics when it was).
 func (rt *Runtime) ManifestRequested() bool { return rt.common.Manifest != "" }
 
-// Close flushes and releases the run's resources: the alert journal
-// and the metrics server (graceful drain).
+// Close flushes and releases the run's resources: the root span and
+// trace file, the alert journal, and the metrics server (graceful
+// drain). The root span's End is idempotent, so mains that already
+// ended it lose nothing.
 func (rt *Runtime) Close() {
+	if rt.root != nil {
+		rt.root.End()
+		rt.root = nil
+	}
+	if rt.trace != nil {
+		if err := rt.trace.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: closing trace file: %v\n", rt.Tool, err)
+		}
+		rt.trace = nil
+	}
 	if rt.journal != nil {
 		if err := rt.journal.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: closing alert journal: %v\n", rt.Tool, err)

@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"auditherm/internal/monitor"
 	"auditherm/internal/obs"
+	"auditherm/internal/traceview"
 )
 
 func TestRegisterOnInstallsSharedFlags(t *testing.T) {
@@ -17,6 +19,7 @@ func TestRegisterOnInstallsSharedFlags(t *testing.T) {
 	RegisterOn(fs, &c)
 	for _, name := range []string{
 		"metrics-addr", "manifest", "parallelism", "monitor", "alert-log", "log-level",
+		"cache-dir", "force", "trace",
 	} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
@@ -116,6 +119,63 @@ func TestRuntimeSharedSurface(t *testing.T) {
 	// Close is idempotent.
 	rt.Close()
 	rt.Close()
+}
+
+// TestTraceLifecycle: -trace installs the process exporter at Start,
+// the manifest records the trace path and root span, spans ended during
+// the run land in the file, and Close ends the root, flushes, and
+// uninstalls the exporter.
+func TestTraceLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.jsonl")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	c := &Common{Manifest: manifestPath, Trace: tracePath, LogLevel: "error"}
+	rt, err := c.Start("tracetest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.TraceExporter() == nil {
+		t.Fatal("Start did not install the trace exporter")
+	}
+
+	b := rt.NewManifest()
+	ctx, root := rt.Trace(context.Background(), b)
+	if obs.SpanFromContext(ctx) != root {
+		t.Error("Trace context does not carry the root span")
+	}
+	root.StartChild("work").End()
+	if err := rt.WriteManifest(b); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close() // ends root, closes trace, uninstalls exporter
+	if obs.TraceExporter() != nil {
+		t.Error("Close left the trace exporter installed")
+	}
+
+	mf, err := obs.ReadManifestFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.TraceFile != tracePath {
+		t.Errorf("manifest trace_file %q, want %q", mf.TraceFile, tracePath)
+	}
+
+	tr, err := traceview.ReadTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.RunID != rt.RunID || tr.Meta.Tool != "tracetest" {
+		t.Errorf("trace meta: %+v", tr.Meta)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "tracetest" ||
+		len(tr.Roots[0].Children) != 1 || tr.Roots[0].Children[0].Name != "work" {
+		t.Errorf("trace tree: %+v", tr.Roots)
+	}
+	// The root was ended by Close, not the tool: its line must still be
+	// in the file (Close ends before closing the trace).
+	if tr.Roots[0].EndNS < tr.Roots[0].StartNS {
+		t.Errorf("root span not ended: %+v", tr.Roots[0])
+	}
 }
 
 func TestWriteManifestNoopWithoutPath(t *testing.T) {

@@ -122,6 +122,7 @@ type JournalEntry struct {
 	Residual float64   `json:"residual"`
 	Z        float64   `json:"z"`
 	Update   int64     `json:"update"`
+	SpanID   string    `json:"span_id,omitempty"`
 	RunID    string    `json:"run_id,omitempty"`
 	WallTS   time.Time `json:"wall_ts"`
 	Ordinal  int64     `json:"ordinal"`

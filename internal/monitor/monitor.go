@@ -35,6 +35,7 @@ import (
 	"log/slog"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"auditherm/internal/obs"
@@ -184,6 +185,10 @@ type Alarm struct {
 	Z        float64 `json:"z"`
 	// Update is the per-sensor update ordinal.
 	Update int64 `json:"update"`
+	// SpanID is the active trace span at emission time ("sp-<n>"), when
+	// the monitor was attached to one (SetSpan); it joins the JSONL
+	// alert journal to the run's trace file by span identity.
+	SpanID string `json:"span_id,omitempty"`
 }
 
 // sensor is the per-sensor monitoring state. All mutation happens
@@ -225,6 +230,7 @@ type Monitor struct {
 	log     *slog.Logger
 	journal *Journal
 	onAlarm func(Alarm)
+	span    atomic.Pointer[obs.Span]
 
 	verdictMu sync.Mutex
 }
@@ -285,6 +291,12 @@ func (m *Monitor) SetJournal(j *Journal) { m.journal = j }
 // SetOnAlarm attaches a callback invoked (synchronously, under the
 // sensor lock) for every alarm and transition.
 func (m *Monitor) SetOnAlarm(fn func(Alarm)) { m.onAlarm = fn }
+
+// SetSpan attaches the run's active trace span: every subsequent alarm
+// carries its ID (joining the alert journal to the trace file) and is
+// mirrored onto the span as a timestamped event. Safe to call
+// concurrently with Update; nil detaches.
+func (m *Monitor) SetSpan(sp *obs.Span) { m.span.Store(sp) }
 
 // SensorNames returns the monitored channel names in index order.
 func (m *Monitor) SensorNames() []string {
@@ -438,9 +450,14 @@ func (m *Monitor) alarmStep(s *sensor, t time.Time, alarming bool, det string, r
 	return s.state, changed
 }
 
-// emit fans an alarm out to the journal, the structured log, and the
-// callback. Called under the sensor lock; all sinks are edge-rate.
+// emit fans an alarm out to the journal, the structured log, the
+// attached trace span, and the callback. Called under the sensor lock;
+// all sinks are edge-rate.
 func (m *Monitor) emit(a Alarm) {
+	if sp := m.span.Load(); sp != nil {
+		a.SpanID = sp.ID()
+		sp.EventAttr("monitor/"+a.Kind, obs.String("sensor", a.Sensor))
+	}
 	if m.journal != nil {
 		m.journal.Append(a)
 	}

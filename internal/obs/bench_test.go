@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
 
 // The registry's hot-path cost budget: counters/gauges/histograms are
 // single atomic ops so per-cell simulator loops can carry them. These
@@ -39,5 +42,69 @@ func BenchmarkSnapshot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = r.Snapshot()
+	}
+}
+
+// BenchmarkHistogramObserveSpan documents the exemplar hot path:
+// Observe plus three atomic stores for the bucket's exemplar slot.
+// Zero allocs — gated in BENCH_trace.json.
+func BenchmarkHistogramObserveSpan(b *testing.B) {
+	h := NewRegistry().NewHistogram("bench_hist", "", DurationBuckets)
+	sp := newSpan("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSpan(0.003, sp)
+	}
+}
+
+// BenchmarkSpanStartEnd is the no-exporter span lifecycle: allocate,
+// attribute, end. A handful of allocations per span (the Span struct
+// and its lazy attr storage) — capped, not zero, in BENCH_trace.json.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := newSpan("bench/span")
+		sp.SetAttr(Int("i", int64(i)))
+		sp.End()
+	}
+}
+
+// BenchmarkSpanStartEndExport is the same lifecycle with a trace
+// exporter installed: End additionally encodes and writes the JSONL
+// line. The delta vs BenchmarkSpanStartEnd must be zero allocations —
+// the export path is gated alloc-free in BENCH_trace.json.
+func BenchmarkSpanStartEndExport(b *testing.B) {
+	t := NewTraceWriter(io.Discard, "bench-run", "bench")
+	prev := SetTraceExporter(t)
+	defer func() { SetTraceExporter(prev); _ = t.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := newSpan("bench/span")
+		sp.SetAttr(Int("i", int64(i)))
+		sp.End()
+	}
+}
+
+// BenchmarkTraceEncode isolates the JSONL encoder: a warmed span with
+// attrs, counts and an event, re-encoded every iteration. Hard
+// zero-alloc gate — this is what keeps -trace safe in a daemon.
+func BenchmarkTraceEncode(b *testing.B) {
+	t := NewTraceWriter(io.Discard, "bench-run", "bench")
+	defer t.Close()
+	sp := newSpan("bench/encode")
+	sp.SetAttr(String("stage", "simulate"))
+	sp.SetAttr(Bool("cache_hit", true))
+	sp.SetAttr(Float("rmse", 0.42))
+	sp.SetCount("cells", 12345)
+	sp.Event("checkpoint")
+	sp.End()
+	// Warm the scratch buffers so steady state is measured.
+	t.writeSpanLocked(sp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.writeSpanLocked(sp)
 	}
 }

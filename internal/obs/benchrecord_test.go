@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BENCH_trace.json recorder: run via
+//
+//	make bench-trace
+//
+// (equivalently: go test ./internal/obs -run RecordTraceBench
+// -record-trace-bench). Alongside the timings it enforces the tracing
+// subsystem's hot-path guarantees and refuses to write the file when
+// any fails:
+//
+//   - encoding a completed span to the JSONL trace is zero-alloc,
+//   - recording a histogram exemplar (ObserveSpan) is zero-alloc,
+//   - installing the trace exporter adds zero allocations to the
+//     span start/end lifecycle (the export cost is pure CPU).
+//
+// Benchmark names use the "obs/Benchmark<Name>" form so `tracetool
+// benchdiff` can map every row back to a live `go test -bench` run.
+
+var recordTraceBench = flag.Bool("record-trace-bench", false,
+	"measure the tracing hot-path benchmarks and write BENCH_trace.json at the repo root")
+
+type traceBenchRow struct {
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Note        string `json:"note,omitempty"`
+}
+
+type traceBenchFile struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Note       string `json:"note"`
+	Reproduce  string `json:"reproduce"`
+
+	TraceEncodeZeroAllocs bool `json:"trace_encode_zero_allocs"`
+	ExemplarZeroAllocs    bool `json:"exemplar_zero_allocs"`
+	ExportAddsZeroAllocs  bool `json:"export_adds_zero_allocs"`
+
+	Benchmarks map[string]traceBenchRow `json:"benchmarks"`
+}
+
+func TestRecordTraceBench(t *testing.T) {
+	if !*recordTraceBench {
+		t.Skip("pass -record-trace-bench (or run `make bench-trace`) to regenerate BENCH_trace.json")
+	}
+
+	rows := map[string]traceBenchRow{}
+	measure := func(name, note string, fn func(b *testing.B)) testing.BenchmarkResult {
+		res := testing.Benchmark(fn)
+		rows["obs/"+name] = traceBenchRow{
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Note:        note,
+		}
+		return res
+	}
+
+	encode := measure("BenchmarkTraceEncode", "JSONL-encode one attributed span into the trace sink (steady state)", BenchmarkTraceEncode)
+	exemplar := measure("BenchmarkHistogramObserveSpan", "histogram observation + bucket exemplar stamp", BenchmarkHistogramObserveSpan)
+	startEnd := measure("BenchmarkSpanStartEnd", "span lifecycle without an exporter (struct + lazy attr storage)", BenchmarkSpanStartEnd)
+	export := measure("BenchmarkSpanStartEndExport", "span lifecycle with the JSONL exporter installed", BenchmarkSpanStartEndExport)
+
+	// Hard gates: refuse to write the baseline from a build that lost
+	// the zero-alloc guarantees — a recorded regression would make
+	// benchdiff blind to it forever after.
+	encodeZero := encode.AllocsPerOp() == 0
+	exemplarZero := exemplar.AllocsPerOp() == 0
+	exportDeltaZero := export.AllocsPerOp() == startEnd.AllocsPerOp()
+	if !encodeZero {
+		t.Errorf("trace encode allocates %d allocs/op, want 0", encode.AllocsPerOp())
+	}
+	if !exemplarZero {
+		t.Errorf("ObserveSpan allocates %d allocs/op, want 0", exemplar.AllocsPerOp())
+	}
+	if !exportDeltaZero {
+		t.Errorf("exporter adds %d allocs/op to span end, want 0",
+			export.AllocsPerOp()-startEnd.AllocsPerOp())
+	}
+	if t.Failed() {
+		t.Fatal("refusing to write BENCH_trace.json: hot-path alloc gates failed")
+	}
+
+	out := traceBenchFile{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "Hot-path cost of span tracing: lifecycle, JSONL export and metric exemplars. " +
+			"allocs_per_op values are exact gates for `tracetool benchdiff` (live runs may not " +
+			"allocate more); ns_per_op is tolerance-gated.",
+		Reproduce:             "make bench-trace  (or: go test ./internal/obs -run RecordTraceBench -record-trace-bench)",
+		TraceEncodeZeroAllocs: encodeZero,
+		ExemplarZeroAllocs:    exemplarZero,
+		ExportAddsZeroAllocs:  exportDeltaZero,
+		Benchmarks:            rows,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "../../BENCH_trace.json"
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmark rows)\n", path, len(rows))
+}

@@ -34,9 +34,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", h.Name)
 		for i, ub := range h.UpperBounds {
-			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", h.Name, promFloat(ub), h.Cumulative[i])
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d%s\n",
+				h.Name, promFloat(ub), h.Cumulative[i], exemplarSuffix(h.Exemplars, i))
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d%s\n",
+			h.Name, h.Count, exemplarSuffix(h.Exemplars, len(h.UpperBounds)))
 		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, promFloat(h.Sum))
 		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
 	}
@@ -68,6 +70,20 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)
+}
+
+// exemplarSuffix renders a bucket's exemplar in OpenMetrics syntax
+// (` # {span_id="sp-42"} 0.0042 1690000000.000`) so a histogram spike
+// on /metrics links directly to the trace span that caused it. Empty
+// when the bucket has no exemplar, keeping exemplar-free output
+// byte-identical to the classic 0.0.4 exposition.
+func exemplarSuffix(exemplars []Exemplar, i int) string {
+	if i >= len(exemplars) || exemplars[i].SpanID == 0 {
+		return ""
+	}
+	e := exemplars[i]
+	return fmt.Sprintf(" # {span_id=\"sp-%d\"} %s %.3f",
+		e.SpanID, promFloat(e.Value), float64(e.TimeNS)/1e9)
 }
 
 func promFloat(v float64) string {

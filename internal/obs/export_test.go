@@ -89,3 +89,45 @@ func TestWriteJSON(t *testing.T) {
 		t.Errorf("histogram expansion = %v / %v", m["h_count"], m["h_sum"])
 	}
 }
+
+// TestWritePrometheusExemplars pins the OpenMetrics exemplar suffix:
+// buckets that saw an ObserveSpan carry the span ID, value and
+// timestamp; untouched buckets keep the classic exposition line.
+func TestWritePrometheusExemplars(t *testing.T) {
+	prevNow := nowNanos
+	nowNanos = func() int64 { return 1_700_000_000_123_000_000 }
+	defer func() { nowNanos = prevNow }()
+
+	r := NewRegistry()
+	h := r.NewHistogram("auditherm_stage_seconds", "", []float64{0.5, 1})
+	sp := newSpan("stage/simulate")
+	h.ObserveSpan(0.25, sp)
+	h.Observe(0.75) // no exemplar on this bucket
+	h.ObserveSpan(2, sp)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE auditherm_stage_seconds histogram\n" +
+		"auditherm_stage_seconds_bucket{le=\"0.5\"} 1 # {span_id=\"" + sp.ID() + "\"} 0.25 1700000000.123\n" +
+		"auditherm_stage_seconds_bucket{le=\"1\"} 2\n" +
+		"auditherm_stage_seconds_bucket{le=\"+Inf\"} 3 # {span_id=\"" + sp.ID() + "\"} 2 1700000000.123\n" +
+		"auditherm_stage_seconds_sum 3\n" +
+		"auditherm_stage_seconds_count 3\n"
+	if got := b.String(); got != want {
+		t.Errorf("exemplar exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Snapshot carries the aligned exemplar slice.
+	snap := r.Snapshot().Histograms[0]
+	if len(snap.Exemplars) != 3 {
+		t.Fatalf("exemplars len %d, want 3 (aligned with buckets + Inf)", len(snap.Exemplars))
+	}
+	if snap.Exemplars[0].SpanID != sp.IDNum() || snap.Exemplars[0].Value != 0.25 {
+		t.Errorf("bucket 0 exemplar: %+v", snap.Exemplars[0])
+	}
+	if snap.Exemplars[1].SpanID != 0 {
+		t.Errorf("bucket 1 should have no exemplar: %+v", snap.Exemplars[1])
+	}
+}

@@ -48,6 +48,11 @@ type RunManifest struct {
 	GoVersion   string `json:"go_version"`
 	Hostname    string `json:"hostname,omitempty"`
 	NumCPU      int    `json:"num_cpu"`
+	// GoMaxProcs is runtime.GOMAXPROCS at run start; tracetool
+	// diff/benchdiff compare it (with GoVersion, NumCPU, Hostname) to
+	// flag cross-machine comparisons instead of reporting false
+	// regressions.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 
 	// RunID correlates this manifest with the run's slog records and
 	// alert-journal entries (they all carry the same run_id).
@@ -55,6 +60,9 @@ type RunManifest struct {
 	// AlertLog is the path of the append-only JSONL alert journal
 	// written during the run, if one was requested.
 	AlertLog string `json:"alert_log,omitempty"`
+	// TraceFile is the path of the JSONL span trace written during the
+	// run (-trace), if one was requested.
+	TraceFile string `json:"trace_file,omitempty"`
 
 	Seed       int64             `json:"seed,omitempty"`
 	Config     map[string]string `json:"config,omitempty"`
@@ -93,6 +101,7 @@ func NewManifest(tool string) *ManifestBuilder {
 			GoVersion:   runtime.Version(),
 			Hostname:    host,
 			NumCPU:      runtime.NumCPU(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 			Stages:      map[string]StageStat{},
 			Metrics:     map[string]float64{},
 		},
@@ -110,6 +119,9 @@ func (b *ManifestBuilder) SetRunID(id string) { b.m.RunID = id }
 
 // SetAlertLog records the path of the run's alert journal.
 func (b *ManifestBuilder) SetAlertLog(path string) { b.m.AlertLog = path }
+
+// SetTraceFile records the path of the run's JSONL span trace.
+func (b *ManifestBuilder) SetTraceFile(path string) { b.m.TraceFile = path }
 
 // SetConfig records the effective configuration as a flat string map
 // and derives a deterministic sha256 hash over its sorted key=value

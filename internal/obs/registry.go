@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing int64 metric.
@@ -84,33 +85,102 @@ func (g *Gauge) Name() string { return g.name }
 // Histogram is a fixed-bucket cumulative histogram (Prometheus
 // semantics: bucket[i] counts observations <= UpperBounds[i], with an
 // implicit +Inf bucket).
+//
+// Each bucket additionally carries one exemplar slot — the last
+// observation recorded with a span (ObserveSpan) — so a latency
+// spike on /metrics links directly back to the trace span that caused
+// it (OpenMetrics exemplar syntax in WritePrometheus).
 type Histogram struct {
-	name   string
-	help   string
-	bounds []float64 // sorted upper bounds, exclusive of +Inf
-	counts []atomic.Int64
-	inf    atomic.Int64
-	count  atomic.Int64
-	sumµ   atomic.Int64 // sum in micro-units to stay lock-free
+	name      string
+	help      string
+	bounds    []float64 // sorted upper bounds, exclusive of +Inf
+	counts    []atomic.Int64
+	inf       atomic.Int64
+	count     atomic.Int64
+	sumµ      atomic.Int64   // sum in micro-units to stay lock-free
+	exemplars []exemplarSlot // len(bounds)+1; last slot is +Inf
+}
+
+// exemplarSlot is a per-bucket last-exemplar cell. The three fields
+// are written with independent atomics (last-write-wins per field);
+// under a race an exemplar can pair one observation's value with
+// another's span, which is acceptable for a debugging aid — both are
+// recent observations of the same bucket.
+type exemplarSlot struct {
+	spanID atomic.Uint64
+	vbits  atomic.Uint64
+	tns    atomic.Int64
+}
+
+// Exemplar is a point-in-time exemplar snapshot: the span that last
+// observed into a bucket, the observed value, and when.
+type Exemplar struct {
+	SpanID uint64  `json:"span_id"`
+	Value  float64 `json:"value"`
+	TimeNS int64   `json:"time_ns"`
 }
 
 // Observe records one observation.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v) }
+
+// observe places v and returns its bucket index (len(bounds) for the
+// +Inf bucket).
+func (h *Histogram) observe(v float64) int {
 	// Linear scan: bucket counts are small (<= ~20) and this avoids a
 	// branch-heavy binary search for tiny slices.
-	placed := false
+	idx := len(h.bounds)
 	for i, b := range h.bounds {
 		if v <= b {
 			h.counts[i].Add(1)
-			placed = true
+			idx = i
 			break
 		}
 	}
-	if !placed {
+	if idx == len(h.bounds) {
 		h.inf.Add(1)
 	}
 	h.count.Add(1)
 	h.sumµ.Add(int64(v * 1e6))
+	return idx
+}
+
+// ObserveSpan records one observation and stamps the bucket's
+// exemplar with the span's ID, so the exported histogram links back
+// to the trace. sp == nil degrades to a plain Observe. Lock-free and
+// allocation-free like Observe.
+func (h *Histogram) ObserveSpan(v float64, sp *Span) {
+	idx := h.observe(v)
+	if sp == nil {
+		return
+	}
+	e := &h.exemplars[idx]
+	e.vbits.Store(math.Float64bits(v))
+	e.tns.Store(nowNanos())
+	e.spanID.Store(sp.IDNum())
+}
+
+// nowNanos is a test seam for exemplar timestamps.
+var nowNanos = func() int64 { return time.Now().UnixNano() }
+
+// snapshotExemplars copies the non-empty exemplar slots, aligned with
+// UpperBounds plus the +Inf slot; nil when no exemplar was recorded.
+func (h *Histogram) snapshotExemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		id := h.exemplars[i].spanID.Load()
+		if id == 0 {
+			continue
+		}
+		if out == nil {
+			out = make([]Exemplar, len(h.exemplars))
+		}
+		out[i] = Exemplar{
+			SpanID: id,
+			Value:  math.Float64frombits(h.exemplars[i].vbits.Load()),
+			TimeNS: h.exemplars[i].tns.Load(),
+		}
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -242,7 +312,11 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 	}
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	h := &Histogram{name: name, help: help, bounds: bs, counts: make([]atomic.Int64, len(bs))}
+	h := &Histogram{
+		name: name, help: help, bounds: bs,
+		counts:    make([]atomic.Int64, len(bs)),
+		exemplars: make([]exemplarSlot, len(bs)+1),
+	}
 	r.histograms[name] = h
 	return h
 }
@@ -282,14 +356,17 @@ type GaugeSnapshot struct {
 }
 
 // HistogramSnapshot is a point-in-time histogram state with cumulative
-// bucket counts aligned to UpperBounds.
+// bucket counts aligned to UpperBounds. Exemplars, when present, is
+// aligned with UpperBounds plus a final +Inf slot; a zero SpanID
+// means the bucket has no exemplar.
 type HistogramSnapshot struct {
-	Name        string    `json:"name"`
-	Help        string    `json:"help,omitempty"`
-	UpperBounds []float64 `json:"upper_bounds"`
-	Cumulative  []int64   `json:"cumulative"`
-	Count       int64     `json:"count"`
-	Sum         float64   `json:"sum"`
+	Name        string     `json:"name"`
+	Help        string     `json:"help,omitempty"`
+	UpperBounds []float64  `json:"upper_bounds"`
+	Cumulative  []int64    `json:"cumulative"`
+	Count       int64      `json:"count"`
+	Sum         float64    `json:"sum"`
+	Exemplars   []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is an isolated copy of a registry's state: mutating the
@@ -320,6 +397,7 @@ func (r *Registry) Snapshot() Snapshot {
 			Cumulative:  cum,
 			Count:       total,
 			Sum:         h.Sum(),
+			Exemplars:   h.snapshotExemplars(),
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })

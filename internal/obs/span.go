@@ -5,21 +5,134 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// Bounds on per-span payload. A long-running daemon reuses one root
+// span across millions of requests' worth of work; without bounds the
+// in-memory tree (and the manifest record derived from it) would grow
+// without limit. Overflow never errors — it increments the matching
+// drop counter, which is exported with the span so a truncated trace
+// is visible as truncated.
+const (
+	// MaxSpanAttrs bounds the typed attributes one span can carry.
+	MaxSpanAttrs = 16
+	// MaxSpanEvents bounds the timestamped events one span can carry.
+	MaxSpanEvents = 64
+	// MaxSpanChildren bounds the children linked into a span's
+	// in-memory tree. Children past the bound still export to the
+	// trace file on End (they know their parent ID); they are only
+	// dropped from the live tree used by WriteReport and manifests.
+	MaxSpanChildren = 512
+)
+
+// AttrKind discriminates the value held by an Attr.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	AttrString AttrKind = iota
+	AttrInt
+	AttrFloat
+	AttrBool
+)
+
+// Attr is one typed span attribute. Build them with the String, Int,
+// Float and Bool constructors; the zero Attr (empty key) means "no
+// attribute".
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Str  string
+	Num  int64   // AttrInt value; AttrBool stores 0/1
+	F    float64 // AttrFloat value
+}
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, Kind: AttrString, Str: v} }
+
+// Int builds an int64 attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Kind: AttrInt, Num: v} }
+
+// Float builds a float64 attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Kind: AttrFloat, F: v} }
+
+// Bool builds a bool attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, Kind: AttrBool}
+	if v {
+		a.Num = 1
+	}
+	return a
+}
+
+// Value returns the attribute's value as an interface (for manifest
+// records and report rendering; allocates, off the hot path).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case AttrString:
+		return a.Str
+	case AttrInt:
+		return a.Num
+	case AttrFloat:
+		return a.F
+	case AttrBool:
+		return a.Num != 0
+	}
+	return nil
+}
+
+// valueString renders the attribute value for the text report.
+func (a Attr) valueString() string {
+	switch a.Kind {
+	case AttrString:
+		return a.Str
+	case AttrInt:
+		return strconv.FormatInt(a.Num, 10)
+	case AttrFloat:
+		return strconv.FormatFloat(a.F, 'g', -1, 64)
+	case AttrBool:
+		if a.Num != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// spanEvent is one timestamped point event inside a span.
+type spanEvent struct {
+	at   time.Time
+	name string
+	attr Attr // optional; Key == "" means none
+}
+
+// SpanEventRecord is the serializable form of a span event.
+type SpanEventRecord struct {
+	Time time.Time      `json:"t"`
+	Name string         `json:"name"`
+	Attr map[string]any `json:"attr,omitempty"`
+}
+
 // Span is one timed region of work. Spans form a tree via
 // StartSpan(ctx, ...): a span started under a context carrying a
 // parent span becomes that parent's child. Spans carry their own
-// counters (SetCount) so stage-level tallies travel with the timing
-// tree into reports and manifests.
+// counters (SetCount), typed attributes (SetAttr), timestamped events
+// (Event/EventAttr) and an error status (SetError), so stage-level
+// context travels with the timing tree into reports, manifests and
+// the exported trace.
+//
+// When a trace exporter is installed (SetTraceExporter), every span
+// streams to the per-run JSONL trace file at its first End — the
+// in-memory tree stays bounded while the file keeps the full record.
 type Span struct {
 	Name string
 
-	id string
+	id uint64
 
 	mu       sync.Mutex
 	start    time.Time
@@ -27,29 +140,64 @@ type Span struct {
 	counts   map[string]int64
 	children []*Span
 	parent   *Span
+
+	attrs        []Attr // lazily allocated, bounded by MaxSpanAttrs
+	events       []spanEvent
+	errMsg       string
+	failed       bool
+	dropAttrs    int64
+	dropEvents   int64
+	dropChildren int64
 }
 
 type spanKey struct{}
 
 // spanSeq numbers spans process-wide; the ID joins log records,
-// journal entries, and manifests emitted under the same span.
-var spanSeq atomic.Int64
+// journal entries, manifests and trace files emitted under the same
+// span.
+var spanSeq atomic.Uint64
 
 // ID returns the span's process-unique identifier ("sp-<n>").
-func (s *Span) ID() string { return s.id }
+func (s *Span) ID() string { return "sp-" + strconv.FormatUint(s.id, 10) }
+
+// IDNum returns the span's numeric identifier (the <n> of "sp-<n>");
+// the trace file and metric exemplars store this form.
+func (s *Span) IDNum() uint64 { return s.id }
+
+func newSpan(name string) *Span {
+	return &Span{Name: name, id: spanSeq.Add(1), start: time.Now()}
+}
 
 // StartSpan begins a span named name. If ctx already carries a span,
 // the new span is registered as its child. The returned context
 // carries the new span; pass it to nested stages.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	sp := &Span{Name: name, id: fmt.Sprintf("sp-%d", spanSeq.Add(1)), start: time.Now()}
+	sp := newSpan(name)
 	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
-		sp.parent = parent
-		parent.mu.Lock()
-		parent.children = append(parent.children, sp)
-		parent.mu.Unlock()
+		parent.adopt(sp)
 	}
 	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// StartChild begins a child span without threading a context — the
+// worker-pool fast path (internal/par) uses it to attribute work to
+// the submitting span from goroutines that own no derived context.
+func (s *Span) StartChild(name string) *Span {
+	c := newSpan(name)
+	s.adopt(c)
+	return c
+}
+
+// adopt links c under s, honoring the child bound.
+func (s *Span) adopt(c *Span) {
+	c.parent = s
+	s.mu.Lock()
+	if len(s.children) >= MaxSpanChildren {
+		s.dropChildren++
+	} else {
+		s.children = append(s.children, c)
+	}
+	s.mu.Unlock()
 }
 
 // SpanFromContext returns the span carried by ctx, or nil.
@@ -58,14 +206,20 @@ func SpanFromContext(ctx context.Context) *Span {
 	return sp
 }
 
-// End marks the span finished. Safe to call more than once; the first
-// call wins.
+// End marks the span finished and, when a trace exporter is
+// installed, streams the completed span to the trace file. Safe to
+// call more than once; the first call wins (and exports).
 func (s *Span) End() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.end.IsZero() {
-		s.end = time.Now()
+	if !s.end.IsZero() {
+		s.mu.Unlock()
+		return
 	}
+	s.end = time.Now()
+	if t := traceExporter.Load(); t != nil {
+		t.writeSpanLocked(s)
+	}
+	s.mu.Unlock()
 }
 
 // Duration returns the span's wall time; for an unfinished span, the
@@ -77,6 +231,111 @@ func (s *Span) Duration() time.Duration {
 		return time.Since(s.start)
 	}
 	return s.end.Sub(s.start)
+}
+
+// Start returns the span's start time.
+func (s *Span) Start() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}
+
+// SetAttr attaches a typed attribute. An existing attribute with the
+// same key is overwritten in place; beyond MaxSpanAttrs distinct keys
+// new attributes are dropped and counted. Zero allocations once the
+// span's attribute storage exists (first call allocates it).
+func (s *Span) SetAttr(a Attr) {
+	if a.Key == "" {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == a.Key {
+			s.attrs[i] = a
+			s.mu.Unlock()
+			return
+		}
+	}
+	if len(s.attrs) >= MaxSpanAttrs {
+		s.dropAttrs++
+		s.mu.Unlock()
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make([]Attr, 0, 4)
+	}
+	s.attrs = append(s.attrs, a)
+	s.mu.Unlock()
+}
+
+// Attrs returns a copy of the span's attributes in insertion order.
+func (s *Span) Attrs() []Attr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Event records a timestamped point event on the span.
+func (s *Span) Event(name string) { s.EventAttr(name, Attr{}) }
+
+// EventAttr records a timestamped event carrying one attribute (e.g.
+// a monitor alarm with its sensor name). Beyond MaxSpanEvents the
+// event is dropped and counted.
+func (s *Span) EventAttr(name string, a Attr) {
+	now := time.Now()
+	s.mu.Lock()
+	if len(s.events) >= MaxSpanEvents {
+		s.dropEvents++
+		s.mu.Unlock()
+		return
+	}
+	if s.events == nil {
+		s.events = make([]spanEvent, 0, 8)
+	}
+	s.events = append(s.events, spanEvent{at: now, name: name, attr: a})
+	s.mu.Unlock()
+}
+
+// Events returns the span's events in record order.
+func (s *Span) Events() []SpanEventRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SpanEventRecord, 0, len(s.events))
+	for _, e := range s.events {
+		rec := SpanEventRecord{Time: e.at, Name: e.name}
+		if e.attr.Key != "" {
+			rec.Attr = map[string]any{e.attr.Key: e.attr.Value()}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// SetError marks the span failed and records the error message. A nil
+// error is ignored.
+func (s *Span) SetError(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.failed = true
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// Failed reports the span's error status and message.
+func (s *Span) Failed() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed, s.errMsg
+}
+
+// Dropped returns the span's overflow tallies: attributes, events and
+// children discarded at the package bounds.
+func (s *Span) Dropped() (attrs, events, children int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropAttrs, s.dropEvents, s.dropChildren
 }
 
 // SetCount attaches (or overwrites) a named counter on the span.
@@ -120,10 +379,13 @@ func (s *Span) Children() []*Span {
 // SpanRecord is the serializable form of a span tree, used by
 // RunManifest.
 type SpanRecord struct {
-	Name       string           `json:"name"`
-	DurationMS float64          `json:"duration_ms"`
-	Counts     map[string]int64 `json:"counts,omitempty"`
-	Children   []SpanRecord     `json:"children,omitempty"`
+	Name            string           `json:"name"`
+	DurationMS      float64          `json:"duration_ms"`
+	Counts          map[string]int64 `json:"counts,omitempty"`
+	Attrs           map[string]any   `json:"attrs,omitempty"`
+	Error           string           `json:"error,omitempty"`
+	DroppedChildren int64            `json:"dropped_children,omitempty"`
+	Children        []SpanRecord     `json:"children,omitempty"`
 }
 
 // Record converts the span tree to its serializable form.
@@ -136,6 +398,16 @@ func (s *Span) Record() SpanRecord {
 	if len(counts) > 0 {
 		rec.Counts = counts
 	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			rec.Attrs[a.Key] = a.Value()
+		}
+	}
+	if failed, msg := s.Failed(); failed {
+		rec.Error = msg
+	}
+	_, _, rec.DroppedChildren = s.Dropped()
 	for _, c := range s.Children() {
 		rec.Children = append(rec.Children, c.Record())
 	}
@@ -143,8 +415,9 @@ func (s *Span) Record() SpanRecord {
 }
 
 // WriteReport renders the span tree as a flame-style indented text
-// report: per-span wall time, percent of root, a proportional bar, and
-// attached counters.
+// report: per-span wall time, percent of root, a proportional bar,
+// attached counters and attributes, and an error marker for failed
+// spans.
 func (s *Span) WriteReport(w io.Writer) {
 	root := s.Duration()
 	if root <= 0 {
@@ -158,8 +431,12 @@ func (s *Span) WriteReport(w io.Writer) {
 		if bar == "" && d > 0 {
 			bar = "."
 		}
+		suffix := fmtCounts(sp.Counts()) + fmtAttrs(sp.Attrs())
+		if failed, msg := sp.Failed(); failed {
+			suffix += "  !error: " + msg
+		}
 		fmt.Fprintf(w, "%-36s %10s %5.1f%% %-20s%s\n",
-			strings.Repeat("  ", depth)+sp.Name, fmtDur(d), pct, bar, fmtCounts(sp.Counts()))
+			strings.Repeat("  ", depth)+sp.Name, fmtDur(d), pct, bar, suffix)
 		for _, c := range sp.Children() {
 			walk(c, depth+1)
 		}
@@ -192,4 +469,15 @@ func fmtCounts(m map[string]int64) string {
 		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
 	}
 	return "  [" + strings.Join(parts, " ") + "]"
+}
+
+func fmtAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		parts = append(parts, a.Key+"="+a.valueString())
+	}
+	return "  {" + strings.Join(parts, " ") + "}"
 }

@@ -40,6 +40,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"auditherm/internal/obs"
 )
 
 // EnvParallelism is the environment variable consulted at process start
@@ -129,6 +131,15 @@ func runTasks(ctx context.Context, workers, tasks int, fn func(t int) error) err
 	queueDepth.Add(float64(tasks))
 	workersBusy.Add(float64(w))
 
+	// When the submitting context carries a span, each worker opens a
+	// child span so the trace attributes batch work to the workers that
+	// ran it. ctx may be nil (the numeric-kernel For path), which stays
+	// span-free by design.
+	var parent *obs.Span
+	if ctx != nil {
+		parent = obs.SpanFromContext(ctx)
+	}
+
 	var (
 		cursor atomic.Int64
 		halt   atomic.Bool
@@ -144,13 +155,23 @@ func runTasks(ctx context.Context, workers, tasks int, fn func(t int) error) err
 	}
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			start := time.Now()
+			var wsp *obs.Span
+			claimed := int64(0)
+			if parent != nil {
+				wsp = parent.StartChild("par/worker")
+				wsp.SetAttr(obs.Int("worker", int64(g)))
+			}
 			// Defers run LIFO: the recover below fires before wg.Done,
 			// so `first` is always set before Wait returns.
 			defer func() {
-				workerBusySeconds.Observe(time.Since(start).Seconds())
+				if wsp != nil {
+					wsp.SetCount("tasks", claimed)
+					wsp.End()
+				}
+				workerBusySeconds.ObserveSpan(time.Since(start).Seconds(), wsp)
 				if r := recover(); r != nil {
 					fail(&PanicError{Value: r, Stack: debug.Stack()})
 				}
@@ -169,12 +190,16 @@ func runTasks(ctx context.Context, workers, tasks int, fn func(t int) error) err
 					return
 				}
 				queueDepth.Add(-1) // claimed (decrement now so a panicking task cannot strand depth)
+				claimed++
 				if err := fn(t); err != nil {
+					if wsp != nil {
+						wsp.SetError(err)
+					}
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	workersBusy.Add(-float64(w))

@@ -1,0 +1,117 @@
+package par
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"auditherm/internal/obs"
+)
+
+// TestWorkerSpans: a batch submitted under a span gets one
+// worker-attributed child span per worker goroutine, whose claimed
+// task counts account for the whole batch.
+func TestWorkerSpans(t *testing.T) {
+	ctx, root := obs.StartSpan(context.Background(), "batch")
+	const n = 300
+	var ran atomic.Int64
+	if err := ForEach(ctx, 4, n, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if ran.Load() != n {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), n)
+	}
+	workers := 0
+	var claimed int64
+	seen := map[int64]bool{}
+	for _, c := range root.Children() {
+		if c.Name != "par/worker" {
+			continue
+		}
+		workers++
+		var workerAttr *obs.Attr
+		for _, a := range c.Attrs() {
+			if a.Key == "worker" {
+				av := a
+				workerAttr = &av
+			}
+		}
+		if workerAttr == nil {
+			t.Fatalf("worker span missing worker attr: %v", c.Attrs())
+		}
+		if seen[workerAttr.Num] {
+			t.Errorf("duplicate worker index %d", workerAttr.Num)
+		}
+		seen[workerAttr.Num] = true
+		claimed += c.Counts()["tasks"]
+	}
+	if workers < 1 || workers > 4 {
+		t.Errorf("got %d worker spans, want 1..4", workers)
+	}
+	if claimed != n {
+		t.Errorf("worker spans claim %d tasks, want %d", claimed, n)
+	}
+}
+
+// TestWorkerSpansSerialPathFree: the serial fast path (and the
+// span-free context) must not grow the span tree.
+func TestWorkerSpansSerialPathFree(t *testing.T) {
+	ctx, root := obs.StartSpan(context.Background(), "serial")
+	if err := ForEach(ctx, 1, 10, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if got := len(root.Children()); got != 0 {
+		t.Errorf("serial path created %d child spans, want 0", got)
+	}
+	// No span in the context: parallel path stays span-free too.
+	if err := ForEach(context.Background(), 4, 50, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSpanMutation drives StartSpan/StartChild, AddCount,
+// SetAttr and Event concurrently from par workers under one parent
+// with a live JSONL exporter — the -race gate for the whole span
+// surface (run via `make race`, which includes this package).
+func TestConcurrentSpanMutation(t *testing.T) {
+	tf := obs.NewTraceWriter(io.Discard, "race-run", "par-test")
+	prev := obs.SetTraceExporter(tf)
+	defer func() { obs.SetTraceExporter(prev); _ = tf.Close() }()
+
+	ctx, root := obs.StartSpan(context.Background(), "race-batch")
+	const n = 200
+	if err := ForEach(ctx, 8, n, func(i int) error {
+		root.AddCount("tasks_done", 1)
+		root.Event("tick")
+		root.SetAttr(obs.Int(fmt.Sprintf("k%d", i%20), int64(i)))
+		_, child := obs.StartSpan(ctx, "task")
+		child.SetCount("i", int64(i))
+		child.End()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if err := tf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Counts()["tasks_done"]; got != n {
+		t.Errorf("tasks_done = %d, want %d", got, n)
+	}
+	// n task children + worker children; event and attr drops counted,
+	// never lost silently.
+	_, dropE, _ := root.Dropped()
+	if got := len(root.Events()); int64(got)+dropE != n {
+		t.Errorf("events %d + dropped %d != %d", got, dropE, n)
+	}
+	if tf.Spans() < n {
+		t.Errorf("exported %d spans, want >= %d", tf.Spans(), n)
+	}
+}

@@ -274,10 +274,15 @@ func (n *node) resolve(ctx context.Context) error {
 
 // run resolves dependencies (in parallel), derives the cache key and
 // either rehydrates or computes the stage.
-func (n *node) run(ctx context.Context) error {
+func (n *node) run(ctx context.Context) (err error) {
 	t0 := time.Now()
 	sctx, sp := obs.StartSpan(ctx, "pipeline/"+n.name)
-	defer sp.End()
+	defer func() {
+		if err != nil {
+			sp.SetError(err)
+		}
+		sp.End()
+	}()
 
 	// Fan the dependency subtrees out over the par pool. Each resolve
 	// is memoized, so a diamond executes its shared ancestor once.
@@ -304,15 +309,17 @@ func (n *node) run(ctx context.Context) error {
 	if !cacheable {
 		uncacheableTotal.Inc()
 		sp.SetCount("cache_hit", 0)
+		sp.SetAttr(obs.Bool("cache_hit", false))
 		if err := n.computeValue(sctx); err != nil {
 			return err
 		}
-		n.finish(t0)
+		n.finish(t0, sp)
 		return nil
 	}
 
 	key := artifact.Key(n.name, n.codecName, n.codecVersion, n.configHash, inputs)
 	n.res.Key = key
+	sp.SetAttr(obs.String("cache_key", key.Short()))
 	if !n.eng.force {
 		if info, ok, err := n.eng.store.Stat(key); err != nil {
 			return fmt.Errorf("pipeline: stage %s cache stat: %w", n.name, err)
@@ -321,10 +328,13 @@ func (n *node) run(ctx context.Context) error {
 			readBytesTotal.Add(info.Bytes)
 			sp.SetCount("cache_hit", 1)
 			sp.SetCount("artifact_bytes", info.Bytes)
+			sp.SetAttr(obs.Bool("cache_hit", true))
+			sp.SetAttr(obs.String("artifact_digest", info.Content.Short()))
+			sp.SetAttr(obs.Int("artifact_bytes", info.Bytes))
 			n.res.Digest = info.Content
 			n.res.Bytes = info.Bytes
 			n.res.CacheHit = true
-			n.finish(t0)
+			n.finish(t0, sp)
 			return nil
 		}
 	} else if n.eng.store.Has(key) {
@@ -333,6 +343,7 @@ func (n *node) run(ctx context.Context) error {
 
 	cacheMissesTotal.Inc()
 	sp.SetCount("cache_hit", 0)
+	sp.SetAttr(obs.Bool("cache_hit", false))
 	if err := n.computeValue(sctx); err != nil {
 		return err
 	}
@@ -344,9 +355,11 @@ func (n *node) run(ctx context.Context) error {
 	}
 	writeBytesTotal.Add(info.Bytes)
 	sp.SetCount("artifact_bytes", info.Bytes)
+	sp.SetAttr(obs.String("artifact_digest", info.Content.Short()))
+	sp.SetAttr(obs.Int("artifact_bytes", info.Bytes))
 	n.res.Digest = info.Content
 	n.res.Bytes = info.Bytes
-	n.finish(t0)
+	n.finish(t0, sp)
 	return nil
 }
 
@@ -392,10 +405,11 @@ func (n *node) value(ctx context.Context) (any, error) {
 }
 
 // finish stamps timing and publishes the stage record to the manifest
-// and metrics.
-func (n *node) finish(t0 time.Time) {
+// and metrics; the stage-latency histogram records the stage's span as
+// its bucket exemplar, so a latency spike on /metrics names the stage.
+func (n *node) finish(t0 time.Time, sp *obs.Span) {
 	n.res.Wall = time.Since(t0)
-	stageSeconds.Observe(n.res.Wall.Seconds())
+	stageSeconds.ObserveSpan(n.res.Wall.Seconds(), sp)
 	if b := n.eng.manifest; b != nil {
 		n.eng.mmu.Lock()
 		b.AddStageWall(n.name, n.res.Wall)

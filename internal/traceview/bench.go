@@ -1,0 +1,305 @@
+package traceview
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark regression gate: the repo records performance baselines as
+// BENCH_*.json files (heterogeneous schemas — see make bench-*);
+// benchdiff extracts every entry carrying ns_per_op, re-runs the ones
+// whose names map to live `go test -bench` benchmarks
+// ("<pkg>/Benchmark<Name>", pkg "root" meaning the repo root package),
+// and fails when a live benchmark is slower than its recording beyond
+// the tolerance — or allocates more than a recorded allocs_per_op,
+// which is compared exactly (alloc counts are deterministic).
+//
+// Entries whose names do not map to a runnable benchmark (the
+// recorder-style rows like "monitor.Update/steady-state") are reported
+// as skipped, never silently dropped.
+
+// Baseline is one recorded benchmark entry.
+type Baseline struct {
+	File string // source BENCH_*.json
+	Name string // recorded name, e.g. "obs/BenchmarkCounterInc"
+	Pkg  string // runnable package dir ("" when not runnable)
+	Fn   string // benchmark function name ("" when not runnable)
+
+	NsPerOp     float64
+	AllocsPerOp float64
+	HasAllocs   bool
+	Note        string
+}
+
+// BaselineEnv is the environment a baseline file was recorded on.
+type BaselineEnv struct {
+	File      string
+	GoVersion string
+	CPU       string
+	NumCPU    int
+}
+
+// Mismatch describes how the recording environment differs from the
+// current process's, or "" when they agree on everything recorded.
+func (e BaselineEnv) Mismatch() string {
+	var diffs []string
+	if e.GoVersion != "" && e.GoVersion != runtime.Version() {
+		diffs = append(diffs, fmt.Sprintf("go %s (recorded) vs %s (here)", e.GoVersion, runtime.Version()))
+	}
+	if e.NumCPU != 0 && e.NumCPU != runtime.NumCPU() {
+		diffs = append(diffs, fmt.Sprintf("%d cpus (recorded) vs %d (here)", e.NumCPU, runtime.NumCPU()))
+	}
+	return strings.Join(diffs, "; ")
+}
+
+// LoadBaselines extracts baseline entries from one BENCH_*.json file.
+// The walk is schema-agnostic: any JSON object with a numeric
+// ns_per_op becomes an entry, named by its "name" field or its map
+// key; file-level go_version / num_cpu / cpu describe the recording
+// environment.
+func LoadBaselines(path string) ([]Baseline, BaselineEnv, error) {
+	env := BaselineEnv{File: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, env, fmt.Errorf("traceview: %w", err)
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, env, fmt.Errorf("traceview: %s: %w", path, err)
+	}
+	if top, ok := doc.(map[string]any); ok {
+		if s, ok := top["go_version"].(string); ok {
+			env.GoVersion = s
+		}
+		if s, ok := top["cpu"].(string); ok {
+			env.CPU = s
+		}
+		if n, ok := top["num_cpu"].(float64); ok {
+			env.NumCPU = int(n)
+		}
+	}
+	var out []Baseline
+	var walk func(v any, key string)
+	walk = func(v any, key string) {
+		switch vv := v.(type) {
+		case map[string]any:
+			if ns, ok := vv["ns_per_op"].(float64); ok {
+				b := Baseline{File: path, Name: key, NsPerOp: ns}
+				if s, ok := vv["name"].(string); ok {
+					b.Name = s
+				}
+				if a, ok := vv["allocs_per_op"].(float64); ok {
+					b.AllocsPerOp = a
+					b.HasAllocs = true
+				}
+				if s, ok := vv["note"].(string); ok {
+					b.Note = s
+				}
+				b.Pkg, b.Fn = runnableName(b.Name)
+				out = append(out, b)
+				return
+			}
+			keys := make([]string, 0, len(vv))
+			for k := range vv {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				walk(vv[k], k)
+			}
+		case []any:
+			for _, item := range vv {
+				walk(item, key)
+			}
+		}
+	}
+	walk(doc, "")
+	return out, env, nil
+}
+
+// runnableName maps a recorded name to (package dir, benchmark func)
+// when it has the "<pkg>/Benchmark<Name>" form; pkg "root" is the repo
+// root package, anything else lives under ./internal/.
+func runnableName(name string) (pkg, fn string) {
+	slash := strings.IndexByte(name, '/')
+	if slash <= 0 {
+		return "", ""
+	}
+	p, f := name[:slash], name[slash+1:]
+	if !strings.HasPrefix(f, "Benchmark") || strings.ContainsAny(f, "/ ") {
+		return "", ""
+	}
+	if p == "root" {
+		return ".", f
+	}
+	if strings.ContainsAny(p, "./ ") {
+		return "", ""
+	}
+	return "./internal/" + p, f
+}
+
+// BenchResult is one live benchmark measurement.
+type BenchResult struct {
+	Name        string // function name, procs suffix stripped
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+	HasAllocs   bool
+}
+
+// ParseGoBench extracts benchmark lines from `go test -bench` output.
+func ParseGoBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.Contains(line, "ns/op") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := BenchResult{Name: name}
+		for i := 2; i < len(fields); i++ {
+			var err error
+			switch fields[i] {
+			case "ns/op":
+				res.NsPerOp, err = strconv.ParseFloat(fields[i-1], 64)
+			case "B/op":
+				res.BytesPerOp, err = strconv.ParseInt(fields[i-1], 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, err = strconv.ParseInt(fields[i-1], 10, 64)
+				res.HasAllocs = err == nil
+			}
+			if err != nil {
+				return nil, fmt.Errorf("traceview: parsing bench line %q: %w", line, err)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// RunGoBench executes the named benchmarks of one package with
+// -benchmem and returns the raw output. benchtime "" keeps the go
+// default; CI smoke uses "1x".
+func RunGoBench(pkg string, fns []string, benchtime string) (string, error) {
+	re := "^(" + strings.Join(fns, "|") + ")$"
+	args := []string{"test", "-run", "^$", "-bench", re, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return string(out), fmt.Errorf("traceview: go test -bench %s: %w\n%s", pkg, err, out)
+	}
+	return string(out), nil
+}
+
+// Comparison statuses.
+const (
+	StatusOK         = "ok"
+	StatusRegression = "regression"
+	StatusAllocs     = "alloc-regression"
+	StatusMissing    = "missing"
+	StatusSkipped    = "skipped"
+)
+
+// Comparison is one baseline's verdict against the live run.
+type Comparison struct {
+	Baseline   Baseline
+	LiveNs     float64
+	LiveAllocs int64
+	Status     string
+	Detail     string
+}
+
+// Compare judges baselines against live results (keyed pkg -> fn).
+// Tolerance is relative: live ns/op beyond recorded*(1+tol) is a
+// regression. Recorded alloc counts are exact gates. Baselines without
+// a runnable name are skipped (visible, not dropped); runnable
+// baselines with no live measurement are missing.
+func Compare(baselines []Baseline, live map[string]map[string]BenchResult, tol float64) []Comparison {
+	out := make([]Comparison, 0, len(baselines))
+	for _, b := range baselines {
+		c := Comparison{Baseline: b}
+		switch {
+		case b.Fn == "":
+			c.Status = StatusSkipped
+			c.Detail = "recorder-style entry; re-record with its make bench-* target"
+		default:
+			res, ok := live[b.Pkg][b.Fn]
+			if !ok {
+				c.Status = StatusMissing
+				c.Detail = "no live benchmark matched"
+				break
+			}
+			c.LiveNs = res.NsPerOp
+			c.LiveAllocs = res.AllocsPerOp
+			limit := b.NsPerOp * (1 + tol)
+			switch {
+			case b.HasAllocs && res.HasAllocs && float64(res.AllocsPerOp) > b.AllocsPerOp:
+				c.Status = StatusAllocs
+				c.Detail = fmt.Sprintf("%d allocs/op, recorded %.0f", res.AllocsPerOp, b.AllocsPerOp)
+			case res.NsPerOp > limit:
+				c.Status = StatusRegression
+				c.Detail = fmt.Sprintf("%.0f ns/op, recorded %.0f (+%.0f%% > %+.0f%% tolerance)",
+					res.NsPerOp, b.NsPerOp, 100*(res.NsPerOp-b.NsPerOp)/b.NsPerOp, 100*tol)
+			default:
+				c.Status = StatusOK
+				c.Detail = fmt.Sprintf("%.0f ns/op, recorded %.0f (%+.0f%%)",
+					res.NsPerOp, b.NsPerOp, 100*(res.NsPerOp-b.NsPerOp)/b.NsPerOp)
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Failed reports whether any comparison is a regression.
+func Failed(cs []Comparison) bool {
+	for _, c := range cs {
+		if c.Status == StatusRegression || c.Status == StatusAllocs {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteComparisons renders the verdict table grouped by status
+// severity (regressions first).
+func WriteComparisons(w io.Writer, cs []Comparison) {
+	order := map[string]int{StatusAllocs: 0, StatusRegression: 1, StatusMissing: 2, StatusOK: 3, StatusSkipped: 4}
+	sorted := append([]Comparison(nil), cs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if order[sorted[i].Status] != order[sorted[j].Status] {
+			return order[sorted[i].Status] < order[sorted[j].Status]
+		}
+		return sorted[i].Baseline.Name < sorted[j].Baseline.Name
+	})
+	counts := map[string]int{}
+	for _, c := range sorted {
+		counts[c.Status]++
+		fmt.Fprintf(w, "%-17s %-44s %s\n", c.Status, c.Baseline.Name, c.Detail)
+	}
+	fmt.Fprintf(w, "\n%d compared ok, %d regressions, %d alloc regressions, %d missing, %d skipped\n",
+		counts[StatusOK], counts[StatusRegression], counts[StatusAllocs],
+		counts[StatusMissing], counts[StatusSkipped])
+}

@@ -1,0 +1,130 @@
+package traceview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event conversion: each span becomes one "X" (complete)
+// event and each span event one "i" (instant) event, loadable in
+// Perfetto / chrome://tracing. The viewer nests same-tid events by
+// time containment, which only renders correctly when events on a
+// thread are properly nested — so concurrent siblings (par workers,
+// parallel pipeline stages) are spread across synthetic lanes: a span
+// stays on its parent's lane when no already-placed sibling overlaps
+// it there, and otherwise claims the first sibling lane it fits on (or
+// a fresh one).
+
+// chromeEvent is one trace_event record. Timestamps and durations are
+// microseconds (the format's unit).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope ("t")
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChrome converts the trace to Chrome trace_event JSON.
+func WriteChrome(w io.Writer, t *Trace) error {
+	lanes := assignLanes(t)
+	out := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(t.Spans)),
+		DisplayTimeUnit: "ms",
+	}
+	if t.Meta.RunID != "" {
+		out.Metadata = map[string]any{
+			"run_id":     t.Meta.RunID,
+			"tool":       t.Meta.Tool,
+			"go_version": t.Meta.GoVersion,
+			"hostname":   t.Meta.Hostname,
+		}
+	}
+	for _, s := range t.Spans {
+		lane := lanes[s.ID]
+		args := map[string]any{"span_id": fmt.Sprintf("sp-%d", s.ID)}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		for k, v := range s.Counts {
+			args[k] = v
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    float64(s.StartNS) / 1e3,
+			Dur:   float64(s.EndNS-s.StartNS) / 1e3,
+			PID:   1,
+			TID:   lane,
+			Args:  args,
+		})
+		for _, e := range s.Events {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name:  e.Name,
+				Phase: "i",
+				TS:    float64(e.TimeNS) / 1e3,
+				PID:   1,
+				TID:   lane,
+				Scope: "t",
+				Args:  e.Attrs,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// assignLanes maps span ID -> synthetic thread lane so that events on
+// one lane are always properly nested.
+func assignLanes(t *Trace) map[uint64]int {
+	lanes := map[uint64]int{}
+	next := 0
+	type laneUse struct {
+		lane int
+		end  int64
+	}
+	var place func(s *Span, parentLane int)
+	place = func(s *Span, parentLane int) {
+		lanes[s.ID] = parentLane
+		// used tracks, per lane already claimed by this span's children
+		// (parent lane first), the end of the last child placed there; a
+		// child reuses a lane only when it starts after that. Slice, not
+		// map: reuse order must be deterministic for golden output.
+		used := []laneUse{{lane: parentLane, end: s.StartNS}}
+		for _, c := range s.Children {
+			lane := -1
+			for i := range used {
+				if used[i].end <= c.StartNS {
+					lane = used[i].lane
+					used[i].end = c.EndNS
+					break
+				}
+			}
+			if lane < 0 {
+				lane = next
+				next++
+				used = append(used, laneUse{lane: lane, end: c.EndNS})
+			}
+			place(c, lane)
+		}
+	}
+	for _, root := range t.Roots {
+		lane := next
+		next++
+		place(root, lane)
+	}
+	return lanes
+}

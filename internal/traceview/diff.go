@@ -1,0 +1,201 @@
+package traceview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"auditherm/internal/obs"
+)
+
+// Run diff: stage-level wall/CPU comparison between two runs, loaded
+// from either a JSONL trace (-trace output) or a JSON run manifest
+// (-manifest output). The two sources agree on stage identity — trace
+// spans named "pipeline/<stage>" aggregate to the same keys the
+// manifest's Stages map uses — so a trace can be diffed against a
+// manifest.
+
+// StageTimes is one stage's timing in a run summary.
+type StageTimes struct {
+	WallMS float64
+	CPUMS  float64 // 0 when the source (a trace) does not record CPU
+}
+
+// RunSummary is the diffable digest of one run.
+type RunSummary struct {
+	Path       string
+	Source     string // "trace" or "manifest"
+	Tool       string
+	RunID      string
+	GoVersion  string
+	Hostname   string
+	NumCPU     int
+	GoMaxProcs int
+	WallMS     float64
+	Stages     map[string]StageTimes
+}
+
+// LoadRun loads a run summary from path, sniffing the format: a run
+// manifest is one JSON object, a trace is JSONL.
+func LoadRun(path string) (*RunSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("traceview: %w", err)
+	}
+	var m obs.RunManifest
+	if err := json.Unmarshal(data, &m); err == nil && m.Tool != "" {
+		rs := &RunSummary{
+			Path: path, Source: "manifest",
+			Tool: m.Tool, RunID: m.RunID,
+			GoVersion: m.GoVersion, Hostname: m.Hostname,
+			NumCPU: m.NumCPU, GoMaxProcs: m.GoMaxProcs,
+			WallMS: m.WallMS,
+			Stages: map[string]StageTimes{},
+		}
+		for name, st := range m.Stages {
+			rs.Stages[name] = StageTimes{WallMS: st.WallMS, CPUMS: st.CPUMS}
+		}
+		return rs, nil
+	}
+	tr, err := ReadTraceFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return summarizeTrace(path, tr), nil
+}
+
+// summarizeTrace folds a trace into the manifest-compatible stage
+// table: spans named "pipeline/<stage>" are keyed by stage, everything
+// else by its span name; durations accumulate across repeats.
+func summarizeTrace(path string, tr *Trace) *RunSummary {
+	rs := &RunSummary{
+		Path: path, Source: "trace",
+		Tool: tr.Meta.Tool, RunID: tr.Meta.RunID,
+		GoVersion: tr.Meta.GoVersion, Hostname: tr.Meta.Hostname,
+		NumCPU: tr.Meta.NumCPU, GoMaxProcs: tr.Meta.GoMaxProcs,
+		Stages: map[string]StageTimes{},
+	}
+	for _, sp := range tr.Spans {
+		name := sp.Name
+		if len(name) > len("pipeline/") && name[:len("pipeline/")] == "pipeline/" {
+			name = name[len("pipeline/"):]
+		}
+		st := rs.Stages[name]
+		st.WallMS += float64(sp.Duration().Nanoseconds()) / 1e6
+		rs.Stages[name] = st
+	}
+	for _, root := range tr.Roots {
+		rs.WallMS += float64(root.Duration().Nanoseconds()) / 1e6
+	}
+	return rs
+}
+
+// DiffRow is one stage's comparison.
+type DiffRow struct {
+	Stage  string
+	AWalls float64 // ms in run A; NaN when the stage is absent
+	BWalls float64 // ms in run B; NaN when the stage is absent
+}
+
+// Delta returns B - A in ms (NaN when either side is absent).
+func (r DiffRow) Delta() float64 { return r.BWalls - r.AWalls }
+
+// Pct returns the relative change in percent (NaN when A is 0 or
+// either side is absent).
+func (r DiffRow) Pct() float64 {
+	if r.AWalls == 0 {
+		return math.NaN()
+	}
+	return 100 * (r.BWalls - r.AWalls) / r.AWalls
+}
+
+// EnvMismatches compares the environments of two runs and describes
+// every difference that invalidates a timing comparison.
+func EnvMismatches(a, b *RunSummary) []string {
+	var out []string
+	if a.GoVersion != b.GoVersion {
+		out = append(out, fmt.Sprintf("go version differs: %s vs %s", a.GoVersion, b.GoVersion))
+	}
+	if a.NumCPU != b.NumCPU {
+		out = append(out, fmt.Sprintf("cpu count differs: %d vs %d", a.NumCPU, b.NumCPU))
+	}
+	if a.GoMaxProcs != b.GoMaxProcs {
+		out = append(out, fmt.Sprintf("gomaxprocs differs: %d vs %d", a.GoMaxProcs, b.GoMaxProcs))
+	}
+	if a.Hostname != "" && b.Hostname != "" && a.Hostname != b.Hostname {
+		out = append(out, fmt.Sprintf("hostname differs: %s vs %s", a.Hostname, b.Hostname))
+	}
+	return out
+}
+
+// Diff builds the stage-level comparison, sorted by absolute delta
+// (largest movement first), stages unique to one side last.
+func Diff(a, b *RunSummary) []DiffRow {
+	names := map[string]bool{}
+	for n := range a.Stages {
+		names[n] = true
+	}
+	for n := range b.Stages {
+		names[n] = true
+	}
+	rows := make([]DiffRow, 0, len(names))
+	for n := range names {
+		row := DiffRow{Stage: n, AWalls: math.NaN(), BWalls: math.NaN()}
+		if st, ok := a.Stages[n]; ok {
+			row.AWalls = st.WallMS
+		}
+		if st, ok := b.Stages[n]; ok {
+			row.BWalls = st.WallMS
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := math.Abs(rows[i].Delta()), math.Abs(rows[j].Delta())
+		iN, jN := math.IsNaN(di), math.IsNaN(dj)
+		if iN != jN {
+			return jN // rows with both sides present sort first
+		}
+		if !iN && di != dj {
+			return di > dj
+		}
+		return rows[i].Stage < rows[j].Stage
+	})
+	return rows
+}
+
+// WriteDiff renders the comparison as text. Environment mismatches are
+// prominent: cross-machine timing deltas are noise, not regressions.
+func WriteDiff(w io.Writer, a, b *RunSummary) error {
+	fmt.Fprintf(w, "A: %s (%s, run %s, tool %s)\n", a.Path, a.Source, orDash(a.RunID), orDash(a.Tool))
+	fmt.Fprintf(w, "B: %s (%s, run %s, tool %s)\n", b.Path, b.Source, orDash(b.RunID), orDash(b.Tool))
+	for _, warn := range EnvMismatches(a, b) {
+		fmt.Fprintf(w, "warning: %s — timings are not comparable across environments\n", warn)
+	}
+	if a.WallMS > 0 && b.WallMS > 0 {
+		fmt.Fprintf(w, "total wall: %.1f ms -> %.1f ms (%+.1f%%)\n",
+			a.WallMS, b.WallMS, 100*(b.WallMS-a.WallMS)/a.WallMS)
+	}
+	fmt.Fprintf(w, "\n%-28s %12s %12s %12s %8s\n", "stage", "A wall ms", "B wall ms", "delta ms", "pct")
+	for _, r := range Diff(a, b) {
+		fmt.Fprintf(w, "%-28s %12s %12s %12s %8s\n",
+			r.Stage, ms(r.AWalls), ms(r.BWalls), ms(r.Delta()), pct(r.Pct()))
+	}
+	return nil
+}
+
+func ms(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}
