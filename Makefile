@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-par bench-gp bench-monitor bench-pipeline bench-trace benchdiff clean
+.PHONY: check vet build test race bench bench-par bench-gp bench-monitor bench-pipeline bench-trace bench-serve benchdiff clean
 
 check: vet build race test
 
@@ -79,6 +79,15 @@ bench-pipeline:
 # allocs to span end — must hold or the file is not written.
 bench-trace:
 	$(GO) test ./internal/obs -run RecordTraceBench -record-trace-bench
+
+# Regenerate the serving-daemon load benchmark in BENCH_serve.json
+# (>=1000 mixed sysid/cluster/select/report/control requests at
+# concurrency 16 against a warmed daemon, then a graceful drain under
+# load). Three gates must hold or the file is not written: steady-state
+# p99 under 500ms, warm-cache hit rate >=90%, and zero in-flight
+# responses lost to the drain.
+bench-serve:
+	$(GO) test ./internal/benchserve -run RecordServeBench -record-serve-bench
 
 # Re-run every runnable benchmark recorded in the BENCH_*.json
 # baselines and fail (exit 2) on ns/op regressions beyond the

@@ -71,7 +71,11 @@ func run(rt *cliutil.Runtime, days int, seed int64, out, truthOut string) error 
 	}
 	sim := pipeline.Simulate(eng, cfg)
 
-	ctx, root := rt.Trace(context.Background(), b)
+	// SIGINT/SIGTERM cancels the run context so in-flight stages unwind
+	// and Close still flushes the trace, manifest and alert journal.
+	sigCtx, stop := rt.SignalContext(context.Background())
+	defer stop()
+	ctx, root := rt.Trace(sigCtx, b)
 	t0 := time.Now()
 	d, err := sim.Get(ctx)
 	root.End()

@@ -82,7 +82,11 @@ func run(rt *cliutil.Runtime, in, metricName string, k, onHour, offHour int) err
 
 	// The report prints purely from the cluster artifact, so a warm
 	// rerun needs neither the trace matrix nor the similarity graph.
-	ctx, root := rt.Trace(context.Background(), b)
+	// SIGINT/SIGTERM cancels the run context so in-flight stages unwind
+	// and Close still flushes the trace, manifest and alert journal.
+	sigCtx, stop := rt.SignalContext(context.Background())
+	defer stop()
+	ctx, root := rt.Trace(sigCtx, b)
 	ca, err := clusterNode.Get(ctx)
 	root.End()
 	if err != nil {

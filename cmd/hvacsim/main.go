@@ -137,7 +137,11 @@ func run(rt *cliutil.Runtime, name string, days int, setpoint, flow float64, see
 		Seed: seed, Start: start,
 	}, customize)
 
-	ctx, root := rt.Trace(context.Background(), b)
+	// SIGINT/SIGTERM cancels the run context so in-flight stages unwind
+	// and Close still flushes the trace, manifest and alert journal.
+	sigCtx, stop := rt.SignalContext(context.Background())
+	defer stop()
+	ctx, root := rt.Trace(sigCtx, b)
 	fmt.Printf("running %s controller over %d days (setpoint %.1f degC)...\n", name, days, setpoint)
 	res, err := node.Get(ctx)
 	root.End()

@@ -29,14 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"auditherm/internal/cliutil"
 	"auditherm/internal/dataset"
 	"auditherm/internal/experiments"
 	"auditherm/internal/obs"
-	"auditherm/internal/pipeline"
 )
 
 func main() {
@@ -72,7 +70,11 @@ func run(rt *cliutil.Runtime, w io.Writer, only string, short bool, cfg dataset.
 		"short":        fmt.Sprint(short),
 		"control_days": fmt.Sprint(controlDays),
 	})
-	ctx, root := rt.Trace(context.Background(), b)
+	// SIGINT/SIGTERM cancels the run context so in-flight stages unwind
+	// and Close still flushes the trace, manifest and alert journal.
+	sigCtx, stop := rt.SignalContext(context.Background())
+	defer stop()
+	ctx, root := rt.Trace(sigCtx, b)
 
 	eng, err := rt.Engine(b)
 	if err != nil {
@@ -81,86 +83,11 @@ func run(rt *cliutil.Runtime, w io.Writer, only string, short bool, cfg dataset.
 	src := experiments.NewEnvSource(eng, cfg)
 	summary := experiments.SummaryReport(eng, src)
 
-	noMetrics := func(run func(env *experiments.Env) (fmt.Stringer, error)) func(env *experiments.Env) (fmt.Stringer, map[string]float64, error) {
-		return func(env *experiments.Env) (fmt.Stringer, map[string]float64, error) {
-			res, err := run(env)
-			return res, nil, err
-		}
-	}
-	type experiment struct {
-		id   string
-		slow bool
-		node *pipeline.Node[*experiments.Report]
-	}
-	exps := []experiment{
-		{"table1", false, experiments.DefineReport(eng, "table1", nil, src,
-			func(env *experiments.Env) (fmt.Stringer, map[string]float64, error) {
-				res, err := experiments.TableI(env)
-				if err != nil {
-					return nil, nil, err
-				}
-				return res, map[string]float64{
-					"table1_occupied_rms90_order1":   res.RMS90[0][0],
-					"table1_occupied_rms90_order2":   res.RMS90[0][1],
-					"table1_unoccupied_rms90_order1": res.RMS90[1][0],
-					"table1_unoccupied_rms90_order2": res.RMS90[1][1],
-				}, nil
-			})},
-		{"fig2", false, experiments.DefineReport(eng, "fig2", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure2(env) }))},
-		{"fig3", false, experiments.DefineReport(eng, "fig3", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure3(env) }))},
-		{"fig4", false, experiments.DefineReport(eng, "fig4", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure4(env) }))},
-		{"fig5", false, experiments.DefineReport(eng, "fig5", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure5(env) }))},
-		{"fig6", false, experiments.DefineReport(eng, "fig6", nil, src,
-			func(env *experiments.Env) (fmt.Stringer, map[string]float64, error) {
-				eu, co, err := experiments.Figure6(env)
-				if err != nil {
-					return nil, nil, err
-				}
-				return stringers{eu, co}, map[string]float64{
-					"fig6_euclidean_k":   float64(eu.K),
-					"fig6_correlation_k": float64(co.K),
-				}, nil
-			})},
-		{"fig7", true, experiments.DefineReport(eng, "fig7", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) {
-				rs, err := experiments.Figure7(env)
-				if err != nil {
-					return nil, err
-				}
-				return intraPanels("Figure 7 (Euclidean clustering panels)", rs), nil
-			}))},
-		{"fig8", true, experiments.DefineReport(eng, "fig8", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) {
-				rs, err := experiments.Figure8(env)
-				if err != nil {
-					return nil, err
-				}
-				return intraPanels("Figure 8 (correlation clustering panels)", rs), nil
-			}))},
-		{"table2", false, experiments.DefineReport(eng, "table2", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.TableII(env) }))},
-		{"fig9", false, experiments.DefineReport(eng, "fig9", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure9(env) }))},
-		{"fig10", true, experiments.DefineReport(eng, "fig10", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure10(env) }))},
-		{"fig11", true, experiments.DefineReport(eng, "fig11", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.Figure11(env) }))},
-		{"control", true, experiments.DefineReport(eng, "control",
-			map[string]string{"days": fmt.Sprint(controlDays)}, src, noMetrics(
-				func(env *experiments.Env) (fmt.Stringer, error) {
-					return experiments.ControlStudy(env, controlDays)
-				}))},
-		{"virtual", true, experiments.DefineReport(eng, "virtual", nil, src, noMetrics(
-			func(env *experiments.Env) (fmt.Stringer, error) { return experiments.VirtualSensing(env) }))},
-	}
+	exps := experiments.Catalog(eng, src, controlDays)
 
 	known := only == ""
 	for _, ex := range exps {
-		if ex.id == only {
+		if ex.ID == only {
 			known = true
 		}
 	}
@@ -178,20 +105,20 @@ func run(rt *cliutil.Runtime, w io.Writer, only string, short bool, cfg dataset.
 	setMetrics(b, sum)
 
 	for _, ex := range exps {
-		if only != "" && ex.id != only {
+		if only != "" && ex.ID != only {
 			continue
 		}
-		if only == "" && short && ex.slow {
-			fmt.Fprintf(w, "== %s skipped (-short) ==\n\n", ex.id)
+		if only == "" && short && ex.Slow {
+			fmt.Fprintf(w, "== %s skipped (-short) ==\n\n", ex.ID)
 			continue
 		}
 		start := time.Now()
-		rep, err := ex.node.Get(ctx)
+		rep, err := ex.Node.Get(ctx)
 		if err != nil {
-			return fmt.Errorf("%s: %w", ex.id, err)
+			return fmt.Errorf("%s: %w", ex.ID, err)
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %v\n", ex.id, time.Since(start).Round(time.Millisecond))
-		fmt.Fprintf(w, "== %s ==\n%s\n", ex.id, rep.Text)
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", ex.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "== %s ==\n%s\n", ex.ID, rep.Text)
 		setMetrics(b, rep)
 	}
 	root.End()
@@ -210,29 +137,3 @@ func setMetrics(b *obs.ManifestBuilder, rep *experiments.Report) {
 		b.SetMetric(k, float64(v))
 	}
 }
-
-// stringers joins multiple results into one printable block.
-type stringers []fmt.Stringer
-
-func (s stringers) String() string {
-	parts := make([]string, len(s))
-	for i, v := range s {
-		parts[i] = v.String()
-	}
-	return strings.Join(parts, "")
-}
-
-// intraPanels prefixes a figure title onto its panels.
-func intraPanels(title string, rs []*experiments.IntraClusterResult) fmt.Stringer {
-	out := make(stringers, 0, len(rs)+1)
-	out = append(out, header(title))
-	for _, r := range rs {
-		out = append(out, r)
-	}
-	return out
-}
-
-// header is a printable section title.
-type header string
-
-func (h header) String() string { return string(h) + "\n" }

@@ -87,7 +87,11 @@ func run(rt *cliutil.Runtime, in string, k, seeds, onHour, offHour int, gpMode s
 		Seeds: seeds, GPMode: gpMode,
 	})
 
-	ctx, root := rt.Trace(context.Background(), b)
+	// SIGINT/SIGTERM cancels the run context so in-flight stages unwind
+	// and Close still flushes the trace, manifest and alert journal.
+	sigCtx, stop := rt.SignalContext(context.Background())
+	defer stop()
+	ctx, root := rt.Trace(sigCtx, b)
 	sa, err := selNode.Get(ctx)
 	if err != nil {
 		return err

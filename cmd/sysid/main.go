@@ -100,7 +100,11 @@ func run(rt *cliutil.Runtime, in string, orderN int, modeName string, horizon ti
 	modelNode := pipeline.Identify(eng, frameNode, idCfg)
 	evalNode := pipeline.Evaluate(eng, frameNode, modelNode, idCfg, horizon)
 
-	ctx, root := rt.Trace(context.Background(), b)
+	// SIGINT/SIGTERM cancels the run context so in-flight stages unwind
+	// and Close still flushes the trace, manifest and alert journal.
+	sigCtx, stop := rt.SignalContext(context.Background())
+	defer stop()
+	ctx, root := rt.Trace(sigCtx, b)
 	ev, err := evalNode.Get(ctx)
 	if err != nil {
 		return err

@@ -139,6 +139,63 @@ func TestStorePutFailureLeavesNothing(t *testing.T) {
 	}
 }
 
+// TestOpenSweepsStaleOrphans covers the crash-debris sweep: a run
+// killed mid-Put leaves its temp file behind (no deferred cleanup
+// runs on SIGKILL), and before the sweep those orphans accumulated in
+// the store root forever. Open must remove temp files older than the
+// safety window while preserving fresh ones (a concurrent writer's
+// in-progress Put), stored artifacts and unrelated files.
+func TestOpenSweepsStaleOrphans(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := HashBytes([]byte("payload"))
+	if _, err := st.Put(key, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "payload")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := time.Now().Add(-2 * StaleTempAge)
+	seed := func(name string, old bool) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("orphan"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if old {
+			if err := os.Chtimes(path, stale, stale); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return path
+	}
+	orphan1 := seed(".tmp-artifact-123456", true)
+	orphan2 := seed(".tmp-artifact-crashed", true)
+	fresh := seed(".tmp-artifact-inflight", false)
+	unrelated := seed("README", true)
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{orphan1, orphan2} {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("stale orphan %s survived the sweep (err=%v)", filepath.Base(path), err)
+		}
+	}
+	for _, path := range []string{fresh, unrelated} {
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("sweep removed %s, which it must not touch: %v", filepath.Base(path), err)
+		}
+	}
+	if !st.Has(key) {
+		t.Error("sweep disturbed a stored artifact")
+	}
+}
+
 func TestWriteFileAtomic(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.csv")
 	if err := WriteFileAtomic(path, func(w io.Writer) error {

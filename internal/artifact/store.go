@@ -24,6 +24,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 )
 
 // Digest is a lowercase hex SHA-256.
@@ -109,7 +111,21 @@ type Store struct {
 	root string
 }
 
-// Open creates (if needed) and returns the store at dir.
+// tempPrefix names in-progress atomic writes; see writeAtomic.
+const tempPrefix = ".tmp-artifact-"
+
+// StaleTempAge is the safety window for the orphan sweep on Open: a
+// temp file older than this cannot belong to a live write (artifact
+// encodes take seconds, not hours) and is debris from a crashed or
+// killed run. Younger temp files are left alone so a concurrent
+// writer's in-progress Put is never yanked out from under it.
+const StaleTempAge = time.Hour
+
+// Open creates (if needed) and returns the store at dir. Stale
+// temp files from crashed runs are swept on the way in: a process
+// killed mid-Put leaves its .tmp-artifact-* file behind (the deferred
+// cleanup never runs), and without the sweep those orphans accumulate
+// in the store root forever.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("artifact: empty store directory")
@@ -117,7 +133,37 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: creating store root: %w", err)
 	}
-	return &Store{root: dir}, nil
+	s := &Store{root: dir}
+	s.sweepStaleTemp(time.Now())
+	return s, nil
+}
+
+// sweepStaleTemp removes temp files in the store root older than
+// StaleTempAge. Best-effort: sweep errors are ignored (a concurrently
+// finishing rename, a permission oddity) — the next Open retries.
+// Returns the number of orphans removed.
+func (s *Store) sweepStaleTemp(now time.Time) int {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), tempPrefix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if now.Sub(info.ModTime()) < StaleTempAge {
+			continue
+		}
+		if os.Remove(filepath.Join(s.root, e.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // Dir returns the store's root directory.
@@ -209,7 +255,7 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 // writeAtomic streams write into a temp file under tmpDir and renames
 // it to final on success. On any error the temp file is removed.
 func writeAtomic(tmpDir, final string, write func(io.Writer) error) error {
-	tmp, err := os.CreateTemp(tmpDir, ".tmp-artifact-*")
+	tmp, err := os.CreateTemp(tmpDir, tempPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("artifact: creating temp file: %w", err)
 	}

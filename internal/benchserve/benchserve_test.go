@@ -1,0 +1,292 @@
+// Package benchserve records the serving-daemon load benchmark into
+// BENCH_serve.json at the repository root. It is a test package only:
+// run via
+//
+//	make bench-serve
+//
+// (equivalently: go test ./internal/benchserve -run RecordServeBench
+// -record-serve-bench). It boots the daemon surface (metrics listener
+// + API) over a fresh artifact store, warms a fixed key space of
+// mixed requests, then drives a concurrent steady-state load of at
+// least 1000 requests and enforces three gates before writing the
+// file: steady-state p99 latency under the budget, warm-cache hit
+// rate of at least 90%, and a graceful drain under load that loses
+// zero in-flight responses.
+package benchserve
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"auditherm/internal/artifact"
+	"auditherm/internal/dataset"
+	"auditherm/internal/obs"
+	"auditherm/internal/serve"
+)
+
+var recordServeBench = flag.Bool("record-serve-bench", false,
+	"measure the serving daemon under load and write BENCH_serve.json at the repo root")
+
+// The gates.
+const (
+	minRequests = 1000
+	concurrency = 16
+	maxP99      = 500 * time.Millisecond
+	minHitRate  = 0.90
+)
+
+type benchFile struct {
+	Generated   string   `json:"generated"`
+	GoVersion   string   `json:"go_version"`
+	NumCPU      int      `json:"num_cpu"`
+	Note        string   `json:"note"`
+	Reproduce   string   `json:"reproduce"`
+	Endpoints   []string `json:"endpoints"`
+	Requests    int      `json:"requests"`
+	Concurrency int      `json:"concurrency"`
+	WarmupMS    int64    `json:"warmup_wall_ms"`
+	SteadyMS    int64    `json:"steady_wall_ms"`
+	HitRate     float64  `json:"warm_hit_rate"`
+	P50MS       float64  `json:"p50_ms"`
+	P90MS       float64  `json:"p90_ms"`
+	P99MS       float64  `json:"p99_ms"`
+	MaxMS       float64  `json:"max_ms"`
+	RPS         float64  `json:"requests_per_second"`
+	DrainInFly  int      `json:"drain_inflight_requests"`
+	DrainLost   int      `json:"drain_lost_responses"`
+	GateP99MS   float64  `json:"gate_p99_ms"`
+	GateHitRate float64  `json:"gate_hit_rate"`
+}
+
+func benchDataset() dataset.Config {
+	cfg := dataset.DefaultConfig()
+	cfg.Days = 14
+	cfg.SimStep = 2 * time.Minute
+	cfg.NumLongOutages = 0
+	cfg.NumShortOutages = 2
+	cfg.NodeFailureProb = 0
+	return cfg
+}
+
+// fetch issues one request, returning status, cache-state header and
+// latency. The body is drained so connections are reused.
+func fetch(url string) (status int, cache string, d time.Duration, err error) {
+	t0 := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, "", 0, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Auditherm-Cache"), time.Since(t0), nil
+}
+
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// TestRecordServeBench drives the load matrix and writes
+// BENCH_serve.json, refusing if any gate fails.
+func TestRecordServeBench(t *testing.T) {
+	if !*recordServeBench {
+		t.Skip("run with -record-serve-bench (make bench-serve) to record")
+	}
+
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv, err := serve.New(serve.Config{
+		Dataset:       benchDataset(),
+		CacheDir:      t.TempDir(),
+		MaxInFlight:   8,
+		ResponseCache: 64,
+	}, log, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := obs.ServeMetrics("127.0.0.1:0", obs.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	srv.Mount(ms)
+	base := ms.URL()
+
+	// The steady-state key space: a representative mix of every
+	// pipeline family. Warmup touches each once (cold computes +
+	// artifact-store writes); the measured phase replays them.
+	endpoints := []string{
+		"/v1/sysid?order=1",
+		"/v1/sysid?order=2",
+		"/v1/cluster?metric=euclidean&k=2",
+		"/v1/cluster?metric=correlation&k=2",
+		"/v1/select?metric=correlation&k=2&seeds=3",
+		"/v1/report?id=fig2",
+		"/v1/control?days=1&seed=1",
+		"/v1/control?days=1&seed=2",
+	}
+
+	tWarm := time.Now()
+	for _, ep := range endpoints {
+		status, _, d, err := fetch(base + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != http.StatusOK {
+			t.Fatalf("warmup %s: status %d", ep, status)
+		}
+		t.Logf("warmup %-45s %v", ep, d.Round(time.Millisecond))
+	}
+	warmupWall := time.Since(tWarm)
+
+	// Steady state: concurrency workers sweep the key space until the
+	// request budget is spent.
+	total := minRequests + 200
+	var next atomic.Int64
+	latencies := make([]time.Duration, total)
+	var hits atomic.Int64
+	var failures atomic.Int64
+	tSteady := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				status, cache, d, err := fetch(base + endpoints[i%len(endpoints)])
+				if err != nil || status != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				latencies[i] = d
+				if cache == "hit" {
+					hits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	steadyWall := time.Since(tSteady)
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d steady-state requests failed", n)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	hitRate := float64(hits.Load()) / float64(total)
+	p50 := percentile(latencies, 0.50)
+	p90 := percentile(latencies, 0.90)
+	p99 := percentile(latencies, 0.99)
+	maxMS := float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
+
+	// Drain under load: novel keys so the requests genuinely compute,
+	// held at the head of their computation until all are in flight,
+	// then BeginDrain. Zero lost responses is the gate.
+	const drainN = 6
+	var entered sync.WaitGroup
+	entered.Add(drainN)
+	release := make(chan struct{})
+	var hookCount atomic.Int64
+	srv.SetComputeHook(func(string) {
+		if hookCount.Add(1) <= drainN {
+			entered.Done()
+			<-release
+		}
+	})
+	type result struct{ status int }
+	results := make(chan result, drainN)
+	var dwg sync.WaitGroup
+	for i := 0; i < drainN; i++ {
+		dwg.Add(1)
+		go func(seed int) {
+			defer dwg.Done()
+			status, _, _, err := fetch(fmt.Sprintf("%s/v1/control?days=1&seed=%d", base, seed))
+			if err != nil {
+				status = -1
+			}
+			results <- result{status}
+		}(1000 + i)
+	}
+	entered.Wait()
+	inFly := srv.InFlight()
+	ms.BeginDrain()
+	srv.BeginDrain()
+	close(release)
+	dwg.Wait()
+	close(results)
+	lost := 0
+	for r := range results {
+		if r.status != http.StatusOK {
+			lost++
+		}
+	}
+	if err := srv.Wait(time.Minute); err != nil {
+		t.Errorf("drain wait: %v", err)
+	}
+
+	// Gates.
+	if p99 > float64(maxP99)/float64(time.Millisecond) {
+		t.Errorf("steady-state p99 %.1fms above the %.0fms gate", p99, float64(maxP99)/float64(time.Millisecond))
+	}
+	if hitRate < minHitRate {
+		t.Errorf("warm hit rate %.3f below the %.2f gate", hitRate, minHitRate)
+	}
+	if lost > 0 {
+		t.Errorf("%d in-flight responses lost during drain, want 0", lost)
+	}
+	if t.Failed() {
+		t.Fatal("gates failed; BENCH_serve.json not written")
+	}
+
+	out := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Note: fmt.Sprintf("auditherm serve: %d mixed requests (%d endpoints: sysid/cluster/select/report/control) at concurrency %d over a %d-day %v-step trace, after one cold warmup sweep; drain began with %d requests in flight",
+			total, len(endpoints), concurrency, benchDataset().Days, benchDataset().SimStep, inFly),
+		Reproduce:   "make bench-serve",
+		Endpoints:   endpoints,
+		Requests:    total,
+		Concurrency: concurrency,
+		WarmupMS:    warmupWall.Milliseconds(),
+		SteadyMS:    steadyWall.Milliseconds(),
+		HitRate:     hitRate,
+		P50MS:       p50,
+		P90MS:       p90,
+		P99MS:       p99,
+		MaxMS:       maxMS,
+		RPS:         float64(total) / steadyWall.Seconds(),
+		DrainInFly:  inFly,
+		DrainLost:   lost,
+		GateP99MS:   float64(maxP99) / float64(time.Millisecond),
+		GateHitRate: minHitRate,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.WriteFileAtomic("../../BENCH_serve.json", func(w io.Writer) error {
+		_, err := w.Write(append(buf, '\n'))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d requests, hit rate %.3f, p50 %.2fms p99 %.2fms, %0.f rps; wrote BENCH_serve.json",
+		total, hitRate, p50, p99, out.RPS)
+}

@@ -24,6 +24,9 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"auditherm/internal/monitor"
@@ -97,6 +100,17 @@ type Runtime struct {
 	trace    *obs.TraceFile
 	root     *obs.Span
 	monitors []*monitor.Monitor
+
+	// manifest is the builder from NewManifest, kept so an interrupted
+	// run's Close can still flush it; manifestDone marks an explicit
+	// WriteManifest so Close does not write twice.
+	manifest     *obs.ManifestBuilder
+	manifestDone bool
+
+	// signalStop detaches the SignalContext handler (idempotent).
+	signalStop func()
+	// exitFn is swapped by tests that exercise the second-signal path.
+	exitFn func(int)
 }
 
 // Start applies the parsed shared flags: sets the parallel worker
@@ -159,8 +173,66 @@ func (rt *Runtime) Trace(ctx context.Context, b *obs.ManifestBuilder) (context.C
 	return sctx, root
 }
 
+// SignalContext derives the run context that every CLI should pass to
+// its pipeline stages: SIGINT or SIGTERM cancels it, so in-flight
+// stages unwind through their context checks and the main returns into
+// the normal cleanup path — Runtime.Close then flushes the trace file,
+// the run manifest and the alert journal instead of the kill silently
+// losing them. A second signal skips the graceful teardown and exits
+// immediately (exit code 130, the shell convention for fatal SIGINT),
+// for runs wedged in a non-cancelable section.
+//
+// The returned stop function detaches the handler and releases the
+// goroutine; Close calls it too, so `defer stop()` is belt and braces.
+func (rt *Runtime) SignalContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	cctx, cancel := context.WithCancel(ctx)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+	exit := rt.exitFn
+	if exit == nil {
+		exit = os.Exit
+	}
+	go func() {
+		select {
+		case sig := <-ch:
+			rt.Log.Warn("signal received; canceling run and flushing artifacts",
+				slog.String("signal", sig.String()))
+			cancel()
+			select {
+			case sig = <-ch:
+				fmt.Fprintf(os.Stderr, "%s: second signal (%v); exiting without cleanup\n", rt.Tool, sig)
+				exit(130)
+			case <-done:
+			}
+		case <-done:
+		}
+	}()
+	rt.signalStop = stop
+	return cctx, stop
+}
+
 // MonitorEnabled reports whether -monitor was passed.
 func (rt *Runtime) MonitorEnabled() bool { return rt.common.Monitor }
+
+// CacheDir returns the effective -cache-dir value (possibly from
+// $AUDITHERM_CACHE). Daemons that build engines per request read it
+// instead of calling Engine once.
+func (rt *Runtime) CacheDir() string { return rt.common.CacheDir }
+
+// ForceRequested reports whether -force was passed.
+func (rt *Runtime) ForceRequested() bool { return rt.common.Force }
+
+// Parallelism returns the effective -parallelism value.
+func (rt *Runtime) Parallelism() int { return rt.common.Parallelism }
 
 // Journal returns the alert journal, opening it on first use, or
 // (nil, nil) when -alert-log is unset.
@@ -269,6 +341,7 @@ func (rt *Runtime) NewManifest() *obs.ManifestBuilder {
 	if rt.root != nil {
 		b.SetRootSpan(rt.root)
 	}
+	rt.manifest = b
 	return b
 }
 
@@ -281,6 +354,9 @@ func (rt *Runtime) WriteManifest(b *obs.ManifestBuilder) error {
 	if err := b.WriteFile(rt.common.Manifest); err != nil {
 		return fmt.Errorf("writing manifest: %w", err)
 	}
+	if b == rt.manifest {
+		rt.manifestDone = true
+	}
 	fmt.Printf("manifest written to %s\n", rt.common.Manifest)
 	return nil
 }
@@ -290,14 +366,32 @@ func (rt *Runtime) WriteManifest(b *obs.ManifestBuilder) error {
 func (rt *Runtime) ManifestRequested() bool { return rt.common.Manifest != "" }
 
 // Close flushes and releases the run's resources: the root span and
-// trace file, the alert journal, and the metrics server (graceful
-// drain). The root span's End is idempotent, so mains that already
-// ended it lose nothing.
+// trace file, the run manifest (when requested and not yet written —
+// the interrupted-run path, marked with a note), the alert journal,
+// and the metrics server (graceful drain). The root span's End is
+// idempotent, so mains that already ended it lose nothing.
 func (rt *Runtime) Close() {
+	if rt.signalStop != nil {
+		rt.signalStop()
+		rt.signalStop = nil
+	}
 	if rt.root != nil {
 		rt.root.End()
 		rt.root = nil
 	}
+	// Manifest flush after the root span ends (so the recorded span
+	// tree is complete) and before the trace file closes (the manifest
+	// references its path).
+	if rt.manifest != nil && !rt.manifestDone && rt.common.Manifest != "" {
+		rt.manifest.AddNote("manifest flushed by Runtime.Close: the run did not reach its normal WriteManifest (interrupted or failed)")
+		if err := rt.manifest.WriteFile(rt.common.Manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: flushing manifest: %v\n", rt.Tool, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: manifest flushed to %s\n", rt.Tool, rt.common.Manifest)
+		}
+		rt.manifestDone = true
+	}
+	rt.manifest = nil
 	if rt.trace != nil {
 		if err := rt.trace.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: closing trace file: %v\n", rt.Tool, err)

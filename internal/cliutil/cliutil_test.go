@@ -3,13 +3,17 @@ package cliutil
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"auditherm/internal/monitor"
 	"auditherm/internal/obs"
+	"auditherm/internal/pipeline"
 	"auditherm/internal/traceview"
 )
 
@@ -175,6 +179,115 @@ func TestTraceLifecycle(t *testing.T) {
 	// in the file (Close ends before closing the trace).
 	if tr.Roots[0].EndNS < tr.Roots[0].StartNS {
 		t.Errorf("root span not ended: %+v", tr.Roots[0])
+	}
+}
+
+// TestSignalKillMidFlightFlushesArtifacts is the data-loss regression
+// test for the signal-handling fix: before it, no CLI installed any
+// SIGINT/SIGTERM handling, so a killed long run silently lost its
+// trace file, run manifest and alert journal. Here a real pipeline
+// stage is mid-flight when the process receives SIGINT; the run
+// context must cancel, the stage must unwind with the context error,
+// and after the normal Close path every artifact must be complete and
+// parseable.
+func TestSignalKillMidFlightFlushesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.jsonl")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	alertPath := filepath.Join(dir, "alerts.jsonl")
+	var logBuf bytes.Buffer
+	c := &Common{
+		Manifest:  manifestPath,
+		Trace:     tracePath,
+		AlertLog:  alertPath,
+		LogLevel:  "warn",
+		LogWriter: &logBuf,
+	}
+	rt, err := c.Start("killtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.exitFn = func(code int) { t.Fatalf("second-signal exit(%d) fired unexpectedly", code) }
+
+	ctx, stop := rt.SignalContext(context.Background())
+	defer stop()
+	b := rt.NewManifest()
+	sctx, _ := rt.Trace(ctx, b)
+
+	// An alarm journaled before the kill must survive the interrupt.
+	j, err := rt.Journal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(monitor.Alarm{Kind: "alarm", Sensor: "s0"})
+
+	// A long-running stage: blocks until the run context dies, exactly
+	// like a multi-hour simulate stage would at its next context check.
+	eng, err := pipeline.New(pipeline.Options{Manifest: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	node := pipeline.Define(eng, "longhaul", pipeline.EvalCodec, nil, nil,
+		func(ctx context.Context) (*pipeline.EvalArtifact, error) {
+			close(entered)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	got := make(chan error, 1)
+	go func() {
+		_, err := node.Get(sctx)
+		got <- err
+	}()
+	<-entered
+
+	// Kill the run mid-flight.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stage unwound with %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGINT did not cancel the run context")
+	}
+	if !strings.Contains(logBuf.String(), "signal received") {
+		t.Errorf("signal not logged: %s", logBuf.String())
+	}
+
+	// The interrupted main's cleanup path: Close must flush everything.
+	rt.Close()
+
+	mf, err := obs.ReadManifestFile(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest not parseable after kill: %v", err)
+	}
+	if mf.RunID != rt.RunID {
+		t.Errorf("manifest run_id %q, want %q", mf.RunID, rt.RunID)
+	}
+	if len(mf.Notes) == 0 || !strings.Contains(mf.Notes[0], "Runtime.Close") {
+		t.Errorf("manifest missing the interrupted-run note: %+v", mf.Notes)
+	}
+
+	tr, err := traceview.ReadTraceFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not parseable after kill: %v", err)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "killtest" {
+		t.Errorf("trace tree after kill: %+v", tr.Roots)
+	}
+	if tr.Roots[0].EndNS < tr.Roots[0].StartNS {
+		t.Errorf("root span never ended: %+v", tr.Roots[0])
+	}
+
+	entries, err := monitor.ReadJournal(alertPath)
+	if err != nil {
+		t.Fatalf("journal not parseable after kill: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Sensor != "s0" || entries[0].RunID != rt.RunID {
+		t.Errorf("journal entries after kill: %+v", entries)
 	}
 }
 

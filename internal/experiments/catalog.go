@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"auditherm/internal/pipeline"
+)
+
+// CatalogEntry is one experiment registered as a pipeline stage: the
+// paper artifact it reproduces, whether it is one of the slow sweeps
+// (skipped by repro -short), and the stage node to resolve.
+type CatalogEntry struct {
+	ID   string
+	Slow bool
+	Node *pipeline.Node[*Report]
+}
+
+// Catalog registers every experiment of the paper's evaluation on the
+// engine and returns them in print order. It is the single definition
+// of the experiment set, shared by cmd/repro (which prints all of
+// them) and the serving daemon's report endpoint (which resolves one
+// per request). controlDays sizes the closed-loop control study.
+func Catalog(eng *pipeline.Engine, src *EnvSource, controlDays int) []CatalogEntry {
+	noMetrics := func(run func(env *Env) (fmt.Stringer, error)) func(env *Env) (fmt.Stringer, map[string]float64, error) {
+		return func(env *Env) (fmt.Stringer, map[string]float64, error) {
+			res, err := run(env)
+			return res, nil, err
+		}
+	}
+	return []CatalogEntry{
+		{"table1", false, DefineReport(eng, "table1", nil, src,
+			func(env *Env) (fmt.Stringer, map[string]float64, error) {
+				res, err := TableI(env)
+				if err != nil {
+					return nil, nil, err
+				}
+				return res, map[string]float64{
+					"table1_occupied_rms90_order1":   res.RMS90[0][0],
+					"table1_occupied_rms90_order2":   res.RMS90[0][1],
+					"table1_unoccupied_rms90_order1": res.RMS90[1][0],
+					"table1_unoccupied_rms90_order2": res.RMS90[1][1],
+				}, nil
+			})},
+		{"fig2", false, DefineReport(eng, "fig2", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return Figure2(env) }))},
+		{"fig3", false, DefineReport(eng, "fig3", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return Figure3(env) }))},
+		{"fig4", false, DefineReport(eng, "fig4", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return Figure4(env) }))},
+		{"fig5", false, DefineReport(eng, "fig5", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return Figure5(env) }))},
+		{"fig6", false, DefineReport(eng, "fig6", nil, src,
+			func(env *Env) (fmt.Stringer, map[string]float64, error) {
+				eu, co, err := Figure6(env)
+				if err != nil {
+					return nil, nil, err
+				}
+				return stringers{eu, co}, map[string]float64{
+					"fig6_euclidean_k":   float64(eu.K),
+					"fig6_correlation_k": float64(co.K),
+				}, nil
+			})},
+		{"fig7", true, DefineReport(eng, "fig7", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) {
+				rs, err := Figure7(env)
+				if err != nil {
+					return nil, err
+				}
+				return intraPanels("Figure 7 (Euclidean clustering panels)", rs), nil
+			}))},
+		{"fig8", true, DefineReport(eng, "fig8", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) {
+				rs, err := Figure8(env)
+				if err != nil {
+					return nil, err
+				}
+				return intraPanels("Figure 8 (correlation clustering panels)", rs), nil
+			}))},
+		{"table2", false, DefineReport(eng, "table2", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return TableII(env) }))},
+		{"fig9", false, DefineReport(eng, "fig9", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return Figure9(env) }))},
+		{"fig10", true, DefineReport(eng, "fig10", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return Figure10(env) }))},
+		{"fig11", true, DefineReport(eng, "fig11", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return Figure11(env) }))},
+		{"control", true, DefineReport(eng, "control",
+			map[string]string{"days": fmt.Sprint(controlDays)}, src, noMetrics(
+				func(env *Env) (fmt.Stringer, error) {
+					return ControlStudy(env, controlDays)
+				}))},
+		{"virtual", true, DefineReport(eng, "virtual", nil, src, noMetrics(
+			func(env *Env) (fmt.Stringer, error) { return VirtualSensing(env) }))},
+	}
+}
+
+// CatalogIDs returns the experiment IDs in print order (for usage
+// strings and request validation).
+func CatalogIDs(entries []CatalogEntry) []string {
+	ids := make([]string, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// stringers joins multiple results into one printable block.
+type stringers []fmt.Stringer
+
+func (s stringers) String() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "")
+}
+
+// intraPanels prefixes a figure title onto its panels.
+func intraPanels(title string, rs []*IntraClusterResult) fmt.Stringer {
+	out := make(stringers, 0, len(rs)+1)
+	out = append(out, header(title))
+	for _, r := range rs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// header is a printable section title.
+type header string
+
+func (h header) String() string { return string(h) + "\n" }

@@ -28,8 +28,10 @@ var ReportCodec = artifact.JSONCodec[*Report]("experiment-report", 1)
 // node's content digest, so on a warm run where all reports hit the
 // cache, neither the dataset decode nor the Env derivation happens.
 type EnvSource struct {
-	ds   *pipeline.Node[*dataset.Dataset]
-	once sync.Once
+	ds *pipeline.Node[*dataset.Dataset]
+
+	mu   sync.Mutex
+	done bool
 	env  *Env
 	err  error
 }
@@ -47,15 +49,39 @@ func (s *EnvSource) DatasetNode() pipeline.AnyNode { return s.ds }
 // Env resolves (and memoizes) the experiment environment from the
 // dataset stage — generated on a cold run, rehydrated on a warm run.
 func (s *EnvSource) Env(ctx context.Context) (*Env, error) {
-	s.once.Do(func() {
-		d, err := s.ds.Get(ctx)
-		if err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		s.done = true
+		if d, err := s.ds.Get(ctx); err != nil {
 			s.err = err
-			return
+		} else {
+			s.env, s.err = NewEnvFromDataset(d)
 		}
-		s.env, s.err = NewEnvFromDataset(d)
-	})
+	}
 	return s.env, s.err
+}
+
+// Seed pre-populates the memoized environment with one derived
+// earlier for the same dataset configuration, so a caller holding a
+// hot Env (the serving daemon's cross-request cache) skips both the
+// dataset decode and the derivation. No-op if Env already ran.
+func (s *EnvSource) Seed(env *Env) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		s.done = true
+		s.env = env
+	}
+}
+
+// Derived returns the environment this source has materialized so far
+// (nil when every report stage was served from the cache and the Env
+// was never needed). Callers use it to keep the Env hot across runs.
+func (s *EnvSource) Derived() *Env {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.env
 }
 
 // DefineReport registers an experiment as a pipeline stage. The cache

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,8 +34,15 @@ type MetricsServer struct {
 	Addr string // actual listen address (resolves ":0")
 	srv  *http.Server
 	ln   net.Listener
+	mux  *http.ServeMux
 
 	started time.Time
+
+	// draining flips /readyz to 503 ahead of the listener closing, so
+	// load balancers stop routing new work while in-flight requests
+	// finish. Close sets it; long-running daemons set it earlier via
+	// BeginDrain to get a deregistration grace window.
+	draining atomic.Bool
 
 	readyMu sync.Mutex
 	checks  []readinessCheck
@@ -42,6 +50,23 @@ type MetricsServer struct {
 	traceMu  sync.Mutex
 	traceSrc func() *Span
 }
+
+// Handle mounts an additional handler on the server's mux (e.g. a
+// serving daemon's API endpoints, so probes, metrics and the API share
+// one listener). Safe to call while serving; panics on a duplicate
+// pattern, like http.ServeMux.
+func (m *MetricsServer) Handle(pattern string, h http.Handler) {
+	m.mux.Handle(pattern, h)
+}
+
+// BeginDrain flips the server into draining state: /readyz starts
+// answering 503 immediately while every other endpoint keeps serving.
+// Call it before stopping request intake so load balancers deregister
+// the instance ahead of the listener closing. Idempotent.
+func (m *MetricsServer) BeginDrain() { m.draining.Store(true) }
+
+// Draining reports whether BeginDrain (or Close) has been called.
+func (m *MetricsServer) Draining() bool { return m.draining.Load() }
 
 type readinessCheck struct {
 	name string
@@ -96,7 +121,11 @@ func (m *MetricsServer) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // readyz is the readiness probe: 200 with per-check status when every
-// registered check passes, 503 naming the failures otherwise.
+// registered check passes, 503 naming the failures otherwise. A
+// draining server is never ready — readiness models shutdown as well
+// as warm-up, so load balancers stop routing before the listener
+// closes — but the per-check results still report, so a probe during
+// drain shows what else (if anything) was failing.
 func (m *MetricsServer) readyz(w http.ResponseWriter, _ *http.Request) {
 	m.readyMu.Lock()
 	checks := append([]readinessCheck(nil), m.checks...)
@@ -117,14 +146,19 @@ func (m *MetricsServer) readyz(w http.ResponseWriter, _ *http.Request) {
 		}
 		results = append(results, r)
 	}
+	draining := m.draining.Load()
+	if draining {
+		ready = false
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if !ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	resp := struct {
-		Ready  bool     `json:"ready"`
-		Checks []result `json:"checks"`
-	}{Ready: ready, Checks: results}
+		Ready    bool     `json:"ready"`
+		Draining bool     `json:"draining,omitempty"`
+		Checks   []result `json:"checks"`
+	}{Ready: ready, Draining: draining, Checks: results}
 	data, err := json.Marshal(resp)
 	if err != nil {
 		fmt.Fprintf(w, "{\"ready\":%v}\n", ready)
@@ -157,6 +191,7 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ms := &MetricsServer{
 		Addr:    ln.Addr().String(),
+		mux:     mux,
 		started: time.Now(),
 		srv: &http.Server{
 			Handler:           mux,
@@ -181,14 +216,23 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	return ms, nil
 }
 
-// Close shuts the server down gracefully: it stops accepting new
-// connections and lets in-flight requests (a Prometheus scrape, a
-// short profile) run to completion for up to shutdownTimeout, then
-// hard-closes whatever remains. The previous implementation called
+// Close shuts the server down gracefully: readiness flips to 503
+// (so probes arriving mid-shutdown see not-ready rather than a
+// connection error), then the server stops accepting new connections
+// and lets in-flight requests (a Prometheus scrape, a short profile)
+// run to completion for up to shutdownTimeout, then hard-closes
+// whatever remains. The previous implementation called
 // http.Server.Close directly, which tore down in-flight scrapes
 // mid-response.
 func (m *MetricsServer) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	return m.CloseTimeout(shutdownTimeout)
+}
+
+// CloseTimeout is Close with an explicit drain budget for in-flight
+// requests; daemons with long-running API requests pass a larger one.
+func (m *MetricsServer) CloseTimeout(d time.Duration) error {
+	m.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
 	err := m.srv.Shutdown(ctx)
 	if err == nil {

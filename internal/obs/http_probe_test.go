@@ -109,6 +109,79 @@ func getText(t *testing.T, url string, wantStatus int) string {
 	return string(body)
 }
 
+// TestReadyzDrain covers the shutdown side of readiness: BeginDrain
+// flips /readyz to 503 (naming the draining state) while other
+// endpoints — including an in-flight request on a mounted handler —
+// keep serving to completion. Load balancers therefore stop routing
+// before the listener closes instead of discovering the shutdown via
+// connection errors.
+func TestReadyzDrain(t *testing.T) {
+	r := NewRegistry()
+	ms, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	// A slow mounted handler stands in for a long API request: it
+	// blocks until released, so it is in flight across the drain flip.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ms.Handle("/v1/slow", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprintln(w, `{"done":true}`)
+	}))
+
+	rd := getJSON(t, ms.URL()+"/readyz", http.StatusOK)
+	if rd["ready"] != true {
+		t.Fatalf("readyz before drain = %v, want ready", rd["ready"])
+	}
+
+	type slowResult struct {
+		status int
+		body   string
+		err    error
+	}
+	got := make(chan slowResult, 1)
+	go func() {
+		resp, err := http.Get(ms.URL() + "/v1/slow")
+		if err != nil {
+			got <- slowResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			got <- slowResult{err: err}
+			return
+		}
+		got <- slowResult{status: resp.StatusCode, body: string(body)}
+	}()
+	<-entered
+
+	ms.BeginDrain()
+	if !ms.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+	rd = getJSON(t, ms.URL()+"/readyz", http.StatusServiceUnavailable)
+	if rd["ready"] != false || rd["draining"] != true {
+		t.Errorf("readyz during drain = %v, want ready=false draining=true", rd)
+	}
+	// Liveness is unaffected: the process is still alive and serving.
+	getJSON(t, ms.URL()+"/healthz", http.StatusOK)
+
+	// The in-flight request completes normally despite the drain.
+	close(release)
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK || !strings.Contains(res.body, `"done":true`) {
+		t.Errorf("in-flight request: status %d body %q", res.status, res.body)
+	}
+}
+
 // TestDebugTraceEndpoint covers /debug/trace: 404 before a trace
 // source is registered, then the live root-span report.
 func TestDebugTraceEndpoint(t *testing.T) {

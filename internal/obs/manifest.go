@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 )
@@ -247,14 +248,25 @@ func ReadManifestFile(path string) (RunManifest, error) {
 }
 
 // gitDescribe returns `git describe --always --dirty` for the current
-// working tree, or "" when git is unavailable.
+// working tree, or "" when git is unavailable. The result is memoized:
+// the working tree does not change under a running process, and the
+// serving daemon builds one manifest per request — forking git on each
+// would dominate warm-request latency.
 func gitDescribe() string {
-	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
+	gitDescribeOnce.Do(func() {
+		out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+		if err != nil {
+			return
+		}
+		gitDescribeCached = strings.TrimSpace(string(out))
+	})
+	return gitDescribeCached
 }
+
+var (
+	gitDescribeOnce   sync.Once
+	gitDescribeCached string
+)
 
 // processCPU returns the process's user+system CPU time so far.
 func processCPU() time.Duration {

@@ -206,6 +206,15 @@ func SpanFromContext(ctx context.Context) *Span {
 	return sp
 }
 
+// ContextWithSpan returns a copy of ctx carrying sp, so a subsequent
+// StartSpan registers its span as sp's child. The serving daemon uses
+// it to root request spans under the long-lived daemon span while
+// keeping each request's own cancellation (the incoming
+// http.Request context).
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
 // End marks the span finished and, when a trace exporter is
 // installed, streams the completed span to the trace file. Safe to
 // call more than once; the first call wins (and exports).

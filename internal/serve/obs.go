@@ -1,0 +1,25 @@
+package serve
+
+import "auditherm/internal/obs"
+
+// Daemon instrumentation on the obs Default registry, exported on the
+// shared /metrics endpoint next to the pipeline and monitor families.
+var (
+	requestsTotal = obs.NewCounter("auditherm_serve_requests_total",
+		"API requests accepted (excluding probe and metrics endpoints)")
+	responseHitsTotal = obs.NewCounter("auditherm_serve_response_cache_hits_total",
+		"API requests answered from the in-memory response cache")
+	responseMissesTotal = obs.NewCounter("auditherm_serve_response_cache_misses_total",
+		"API requests that resolved pipeline stages")
+	coalescedTotal = obs.NewCounter("auditherm_serve_coalesced_total",
+		"API requests that joined an identical in-flight computation")
+	errorsTotal = obs.NewCounter("auditherm_serve_errors_total",
+		"API requests that failed (4xx parameter errors and 5xx compute errors)")
+	drainRejectsTotal = obs.NewCounter("auditherm_serve_drain_rejects_total",
+		"API requests rejected with 503 because the daemon was draining")
+	inflightGauge = obs.NewGauge("auditherm_serve_inflight",
+		"API requests currently being served")
+	requestSeconds = obs.NewHistogram("auditherm_serve_request_seconds",
+		"end-to-end API request latency",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+)
