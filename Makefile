@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-par bench-gp bench-monitor bench-pipeline bench-trace bench-serve benchdiff clean
+.PHONY: check vet build test race bench bench-par bench-gp bench-monitor bench-pipeline bench-trace bench-serve bench-store benchdiff clean
 
 check: vet build race test
 
@@ -25,8 +25,11 @@ build:
 # by /readyz and the metrics scraper while the control loop updates it;
 # all eight get the race detector every time. internal/pipeline
 # resolves DAG dependencies concurrently and memoizes nodes across
-# goroutines, and internal/artifact backs it with concurrent
-# atomic-rename writes; both join the gate. The tracing subsystem
+# goroutines, and internal/artifact backs it with the tiered storage
+# stack — in-memory LRU, sharded local disk with concurrent eviction,
+# remote fetches under singleflight — whose churn suite drives
+# overlapping Put/Get/evict from 8 workers against every backend; both
+# join the gate. The tracing subsystem
 # rides the same gate: obs spans mutate under par workers
 # (TestConcurrentSpanMutation drives StartChild/SetAttr/Event/End from
 # 8 goroutines against a live JSONL exporter), and internal/traceview
@@ -79,6 +82,16 @@ bench-pipeline:
 # allocs to span end — must hold or the file is not written.
 bench-trace:
 	$(GO) test ./internal/obs -run RecordTraceBench -record-trace-bench
+
+# Regenerate the artifact-storage tier benchmark in BENCH_store.json
+# (concurrent mixed Put/Get on the sharded store vs the pre-sharding
+# flat reference, memory-tier warm Get, tiered read-through). Three
+# gates must hold or the file is not written: sharded >=2x flat at 8
+# workers, memory-tier warm Get 0 allocs/op with no filesystem, and
+# eviction holding the byte budget with every surviving Get
+# bit-identical.
+bench-store:
+	$(GO) test ./internal/benchstore -run RecordStoreBench -record-store-bench
 
 # Regenerate the serving-daemon load benchmark in BENCH_serve.json
 # (>=1000 mixed sysid/cluster/select/report/control requests at

@@ -20,6 +20,8 @@
 //	GET /v1/select?k=2&seeds=10            representative selection
 //	GET /v1/control?controller=deadband    closed-loop control study
 //	GET /v1/status                         live daemon state
+//	GET/PUT /v1/artifacts/{digest}         content-addressed artifact
+//	                                       exchange (remote store tier)
 //
 // Lifecycle: SIGINT/SIGTERM starts a graceful drain — /readyz flips
 // to 503 so load balancers deregister, new API requests are rejected,
@@ -38,6 +40,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"auditherm/internal/cliutil"
@@ -107,6 +110,8 @@ func run(rt *cliutil.Runtime, days int, simStep time.Duration, runDir string,
 	srv, err := serve.New(serve.Config{
 		Dataset:       dcfg,
 		CacheDir:      rt.CacheDir(),
+		Store:         rt.StoreSpec(),
+		StoreToken:    os.Getenv("AUDITHERM_STORE_TOKEN"),
 		Force:         rt.ForceRequested(),
 		Workers:       rt.Parallelism(),
 		MaxInFlight:   maxInflight,
@@ -117,7 +122,11 @@ func run(rt *cliutil.Runtime, days int, simStep time.Duration, runDir string,
 		return err
 	}
 	srv.Mount(rt.Metrics)
-	rt.Log.Info("serving", "addr", rt.Metrics.Addr, "days", days, "cache_dir", rt.CacheDir())
+	store := ""
+	if srv.Backend() != nil {
+		store = srv.Backend().Name()
+	}
+	rt.Log.Info("serving", "addr", rt.Metrics.Addr, "days", days, "store", store)
 	if ready != nil {
 		ready <- srv
 	}
@@ -132,6 +141,11 @@ func run(rt *cliutil.Runtime, days int, simStep time.Duration, runDir string,
 	if err := srv.Wait(drainTimeout); err != nil {
 		rt.Log.Error("drain incomplete", "error", err.Error())
 		b.AddNote(err.Error())
+	}
+	// The backend closes only after the drain: in-flight requests hold
+	// engines over it, and the local tier's Close waits out its sweeper.
+	if err := srv.Close(); err != nil {
+		rt.Log.Error("closing artifact store", "error", err.Error())
 	}
 	root.End()
 	b.SetMetric("requests_total", float64(obs.Default.CounterValue("auditherm_serve_requests_total")))

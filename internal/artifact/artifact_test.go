@@ -2,6 +2,7 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -65,13 +66,15 @@ func TestHashConfig(t *testing.T) {
 }
 
 func TestStorePutStatOpen(t *testing.T) {
+	ctx := context.Background()
 	st, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer st.Close()
 	key := HashBytes([]byte("some key material"))
 	payload := []byte("hello artifact\n")
-	info, err := st.Put(key, func(w io.Writer) error {
+	info, err := st.Put(ctx, key, func(w io.Writer) error {
 		_, err := w.Write(payload)
 		return err
 	})
@@ -87,17 +90,17 @@ func TestStorePutStatOpen(t *testing.T) {
 	if want := HashBytes(payload); info.Content != want {
 		t.Errorf("info content %s, want %s", info.Content, want)
 	}
-	if !st.Has(key) {
+	if !st.Has(ctx, key) {
 		t.Error("Has reports stored key absent")
 	}
-	got, ok, err := st.Stat(key)
+	got, ok, err := st.Stat(ctx, key)
 	if err != nil || !ok {
 		t.Fatalf("Stat: ok=%v err=%v", ok, err)
 	}
 	if got != info {
 		t.Errorf("Stat %+v, want %+v", got, info)
 	}
-	rc, err := st.Open(key)
+	rc, err := st.Open(ctx, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,26 +109,28 @@ func TestStorePutStatOpen(t *testing.T) {
 	if !bytes.Equal(data, payload) {
 		t.Errorf("read %q, want %q", data, payload)
 	}
-	if _, ok, err := st.Stat(HashBytes([]byte("absent"))); err != nil || ok {
+	if _, ok, err := st.Stat(ctx, HashBytes([]byte("absent"))); err != nil || ok {
 		t.Errorf("absent key: ok=%v err=%v", ok, err)
 	}
 }
 
 func TestStorePutFailureLeavesNothing(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	st, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer st.Close()
 	key := HashBytes([]byte("k"))
 	boom := errors.New("encoder exploded")
-	if _, err := st.Put(key, func(w io.Writer) error {
+	if _, err := st.Put(ctx, key, func(w io.Writer) error {
 		fmt.Fprint(w, "partial bytes")
 		return boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("Put error %v, want wrapped %v", err, boom)
 	}
-	if st.Has(key) {
+	if st.Has(ctx, key) {
 		t.Error("failed Put left an artifact behind")
 	}
 	entries, err := os.ReadDir(dir)
@@ -143,16 +148,19 @@ func TestStorePutFailureLeavesNothing(t *testing.T) {
 // killed mid-Put leaves its temp file behind (no deferred cleanup
 // runs on SIGKILL), and before the sweep those orphans accumulated in
 // the store root forever. Open must remove temp files older than the
-// safety window while preserving fresh ones (a concurrent writer's
-// in-progress Put), stored artifacts and unrelated files.
+// safety window — in the background, off the open path — while
+// preserving fresh ones (a concurrent writer's in-progress Put),
+// stored artifacts and unrelated files.
 func TestOpenSweepsStaleOrphans(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	st, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer st.Close()
 	key := HashBytes([]byte("payload"))
-	if _, err := st.Put(key, func(w io.Writer) error {
+	if _, err := st.Put(ctx, key, func(w io.Writer) error {
 		_, err := fmt.Fprint(w, "payload")
 		return err
 	}); err != nil {
@@ -178,9 +186,12 @@ func TestOpenSweepsStaleOrphans(t *testing.T) {
 	fresh := seed(".tmp-artifact-inflight", false)
 	unrelated := seed("README", true)
 
-	if _, err := Open(dir); err != nil {
+	st2, err := Open(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
+	st2.waitSweep()
+	defer st2.Close()
 	for _, path := range []string{orphan1, orphan2} {
 		if _, err := os.Stat(path); !os.IsNotExist(err) {
 			t.Errorf("stale orphan %s survived the sweep (err=%v)", filepath.Base(path), err)
@@ -191,7 +202,7 @@ func TestOpenSweepsStaleOrphans(t *testing.T) {
 			t.Errorf("sweep removed %s, which it must not touch: %v", filepath.Base(path), err)
 		}
 	}
-	if !st.Has(key) {
+	if !st.Has(ctx, key) {
 		t.Error("sweep disturbed a stored artifact")
 	}
 }

@@ -1,0 +1,274 @@
+package artifact
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"auditherm/internal/obs"
+)
+
+// Protocol headers for the content-addressed artifact endpoint.
+const (
+	// ContentHeader carries the SHA-256 of the artifact bytes: the
+	// server sends it on GET/HEAD (from its Put-time record) so the
+	// client can verify every read, and the client sends it on PUT so
+	// the server can reject a corrupted upload.
+	ContentHeader = "X-Auditherm-Content"
+)
+
+// artifactsPathPrefix is the endpoint the handler mounts at and the
+// client requests against.
+const artifactsPathPrefix = "/v1/artifacts/"
+
+// Remote is the content-addressed HTTP backend: GET/PUT against
+// another process's /v1/artifacts/{digest} endpoint (auditherm serve
+// exposes one over its own store). Every read is SHA-256-verified
+// against the server's recorded content digest — keys and contents are
+// both digests, so integrity checking costs one hash. Concurrent
+// fetches of the same key are singleflight-deduped: one request goes
+// to the wire, every waiter shares its (verified) bytes.
+type Remote struct {
+	base   string
+	token  string
+	client *http.Client
+
+	fmu    sync.Mutex
+	flight map[Digest]*fetchCall
+}
+
+type fetchCall struct {
+	done chan struct{}
+	data []byte
+	info Info
+	err  error
+}
+
+// NewRemote builds the client for the artifact endpoint at base
+// (scheme://host[:port], no path). token, when non-empty, is sent as a
+// bearer Authorization header on every request.
+func NewRemote(base, token string) (*Remote, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: remote url %q: %w", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("artifact: remote url %q: want http:// or https://", base)
+	}
+	return &Remote{
+		base:   strings.TrimSuffix(base, "/"),
+		token:  token,
+		client: &http.Client{Timeout: 60 * time.Second},
+		flight: make(map[Digest]*fetchCall),
+	}, nil
+}
+
+// Name implements Backend.
+func (r *Remote) Name() string { return "remote=" + r.base }
+
+// Close implements Backend.
+func (r *Remote) Close() error {
+	r.client.CloseIdleConnections()
+	return nil
+}
+
+func (r *Remote) urlFor(key Digest) string {
+	return r.base + artifactsPathPrefix + string(key)
+}
+
+func (r *Remote) newRequest(ctx context.Context, method string, key Digest, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, r.urlFor(key), body)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: remote %s %s: %w", method, key.Short(), err)
+	}
+	if r.token != "" {
+		req.Header.Set("Authorization", "Bearer "+r.token)
+	}
+	return req, nil
+}
+
+// Has implements Backend via a HEAD probe.
+func (r *Remote) Has(ctx context.Context, key Digest) bool {
+	_, ok, err := r.Stat(ctx, key)
+	return err == nil && ok
+}
+
+// Stat implements Backend via HEAD: the server answers with the
+// content digest and size headers, no body.
+func (r *Remote) Stat(ctx context.Context, key Digest) (Info, bool, error) {
+	if err := ValidateKey(key); err != nil {
+		return Info{}, false, err
+	}
+	req, err := r.newRequest(ctx, http.MethodHead, key, nil)
+	if err != nil {
+		return Info{}, false, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return Info{}, false, fmt.Errorf("artifact: remote stat %s: %w", key.Short(), err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		content := Digest(resp.Header.Get(ContentHeader))
+		if err := ValidateKey(content); err != nil {
+			return Info{}, false, fmt.Errorf("artifact: remote stat %s: bad %s header %q", key.Short(), ContentHeader, content)
+		}
+		remoteHitsTotal.Inc()
+		return Info{Key: key, Content: content, Bytes: resp.ContentLength}, true, nil
+	case http.StatusNotFound:
+		remoteMissesTotal.Inc()
+		return Info{}, false, nil
+	default:
+		return Info{}, false, fmt.Errorf("artifact: remote stat %s: %s", key.Short(), resp.Status)
+	}
+}
+
+// Open implements Backend: the verified bytes stream from memory after
+// fetch.
+func (r *Remote) Open(ctx context.Context, key Digest) (io.ReadCloser, error) {
+	data, _, err := r.Fetch(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return readCloser{bytes.NewReader(data)}, nil
+}
+
+// Fetch GETs the artifact bytes, verifying their SHA-256 against the
+// server's recorded content digest; a flipped bit anywhere — on the
+// remote disk, in transit — fails the read instead of poisoning the
+// caller's cache. Concurrent fetches of one key share a single wire
+// request. The returned slice is shared across waiters; do not mutate.
+func (r *Remote) Fetch(ctx context.Context, key Digest) ([]byte, Info, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, Info{}, err
+	}
+	r.fmu.Lock()
+	if c, ok := r.flight[key]; ok {
+		r.fmu.Unlock()
+		remoteCoalescedTotal.Inc()
+		select {
+		case <-c.done:
+			return c.data, c.info, c.err
+		case <-ctx.Done():
+			return nil, Info{}, ctx.Err()
+		}
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	r.flight[key] = c
+	r.fmu.Unlock()
+
+	c.data, c.info, c.err = r.fetch(ctx, key)
+	r.fmu.Lock()
+	delete(r.flight, key)
+	r.fmu.Unlock()
+	close(c.done)
+	return c.data, c.info, c.err
+}
+
+func (r *Remote) fetch(ctx context.Context, key Digest) ([]byte, Info, error) {
+	sctx, sp := obs.StartSpan(ctx, "artifact/remote.get")
+	sp.SetAttr(obs.String("key", key.Short()))
+	defer sp.End()
+	req, err := r.newRequest(sctx, http.MethodGet, key, nil)
+	if err != nil {
+		sp.SetError(err)
+		return nil, Info{}, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		err = fmt.Errorf("artifact: remote get %s: %w", key.Short(), err)
+		sp.SetError(err)
+		return nil, Info{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		remoteMissesTotal.Inc()
+		io.Copy(io.Discard, resp.Body)
+		return nil, Info{}, &notFoundError{key: key, tier: "remote"}
+	default:
+		io.Copy(io.Discard, resp.Body)
+		err := fmt.Errorf("artifact: remote get %s: %s", key.Short(), resp.Status)
+		sp.SetError(err)
+		return nil, Info{}, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		err = fmt.Errorf("artifact: remote get %s: reading body: %w", key.Short(), err)
+		sp.SetError(err)
+		return nil, Info{}, err
+	}
+	want := Digest(resp.Header.Get(ContentHeader))
+	if err := ValidateKey(want); err != nil {
+		err = fmt.Errorf("artifact: remote get %s: bad %s header %q", key.Short(), ContentHeader, want)
+		sp.SetError(err)
+		return nil, Info{}, err
+	}
+	if got := HashBytes(data); got != want {
+		remoteVerifyFailuresTotal.Inc()
+		err := fmt.Errorf("artifact: remote get %s: content digest mismatch: got %s, server recorded %s (corrupt remote artifact or transport)",
+			key.Short(), got.Short(), want.Short())
+		sp.SetError(err)
+		return nil, Info{}, err
+	}
+	remoteHitsTotal.Inc()
+	remoteFetchBytesTotal.Add(int64(len(data)))
+	sp.SetCount("bytes", int64(len(data)))
+	return data, Info{Key: key, Content: want, Bytes: int64(len(data))}, nil
+}
+
+// Put implements Backend: the encoded bytes upload with their content
+// digest so the server verifies the write end-to-end.
+func (r *Remote) Put(ctx context.Context, key Digest, encode func(io.Writer) error) (Info, error) {
+	if err := ValidateKey(key); err != nil {
+		return Info{}, err
+	}
+	var buf bytes.Buffer
+	if err := encode(&buf); err != nil {
+		return Info{}, err
+	}
+	return r.PutBytes(ctx, key, buf.Bytes())
+}
+
+// PutBytes uploads already-encoded artifact bytes.
+func (r *Remote) PutBytes(ctx context.Context, key Digest, data []byte) (Info, error) {
+	if err := ValidateKey(key); err != nil {
+		return Info{}, err
+	}
+	sctx, sp := obs.StartSpan(ctx, "artifact/remote.put")
+	sp.SetAttr(obs.String("key", key.Short()))
+	sp.SetCount("bytes", int64(len(data)))
+	defer sp.End()
+	info := Info{Key: key, Content: HashBytes(data), Bytes: int64(len(data))}
+	req, err := r.newRequest(sctx, http.MethodPut, key, bytes.NewReader(data))
+	if err != nil {
+		sp.SetError(err)
+		return Info{}, err
+	}
+	req.Header.Set(ContentHeader, string(info.Content))
+	req.ContentLength = int64(len(data))
+	resp, err := r.client.Do(req)
+	if err != nil {
+		err = fmt.Errorf("artifact: remote put %s: %w", key.Short(), err)
+		sp.SetError(err)
+		return Info{}, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("artifact: remote put %s: %s", key.Short(), resp.Status)
+		sp.SetError(err)
+		return Info{}, err
+	}
+	remotePutBytesTotal.Add(int64(len(data)))
+	return info, nil
+}

@@ -1,4 +1,4 @@
-// Package artifact is the content-addressed on-disk store behind the
+// Package artifact is the content-addressed artifact storage behind the
 // pipeline engine's warm cache, plus the versioned JSON codecs that
 // generalize the sysid/persist.go pattern to datasets, cluster
 // assignments and selections.
@@ -10,6 +10,11 @@
 // second one can skip the work and rehydrate the first one's output
 // bit-identically.
 //
+// Storage is pluggable behind the Backend interface (see backend.go):
+// an in-memory hot tier (Mem), this file's sharded local disk store
+// (Store), a remote shared cache (Remote) and their read-through
+// composition (Tiered).
+//
 // Writes are crash-safe: every Put streams through a temp file in the
 // store root and is renamed into place only once fully written, so a
 // killed run never leaves a corrupt partial artifact — re-invoking the
@@ -17,6 +22,8 @@
 package artifact
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -25,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -103,12 +111,56 @@ type Info struct {
 	Bytes int64
 }
 
-// Store is a content-addressed artifact store rooted at one directory.
-// Artifacts live under <root>/<key[:2]>/<key>; temp files are written
-// in the root so the final rename stays on one filesystem. A Store is
-// safe for concurrent use: every write is independent and atomic.
+// numShards is the two-hex-prefix shard fan-out: artifacts live under
+// <root>/<key[:2]>/<key>, and one mutex guards each shard's membership
+// (rename-into-place and evict-unlink), so concurrent engines contend
+// only when they touch the same 1/256th of the keyspace.
+const numShards = 256
+
+// LocalOptions parameterizes OpenLocal.
+type LocalOptions struct {
+	// Budget bounds the store's total artifact bytes; past it the
+	// least-recently-used artifacts are evicted after each Put. 0
+	// disables eviction (the store grows without bound, and no index
+	// is maintained). The artifact just written by a Put is never its
+	// own eviction victim, so the budget holds whenever it is at least
+	// the largest single artifact.
+	Budget int64
+}
+
+// Store is the sharded local disk backend: content-addressed artifacts
+// under <root>/<key[:2]>/<key>, temp files written in the root so the
+// final rename stays on one filesystem. Writes are independent and
+// atomic; per-shard locks serialize only same-shard membership changes.
+//
+// With a byte Budget the store keeps an in-memory LRU index (seeded
+// from file mtimes at Open, refreshed on every access) and evicts
+// atime-ordered past the budget. Eviction is safe against concurrent
+// reads: an unlink never invalidates an already-open descriptor, and a
+// reader that loses the open race simply misses — the pipeline engine
+// recomputes an evicted key from its stage function.
 type Store struct {
-	root string
+	root   string
+	budget int64
+
+	shards [numShards]sync.Mutex
+
+	// emu guards the eviction index (only maintained when budget > 0).
+	emu   sync.Mutex
+	total int64
+	order *list.List // front = most recently used; values are *storeEntry
+	index map[Digest]*list.Element
+
+	// closed stops the background sweep; sweepDone closes when it has
+	// finished (Close waits so no goroutine outlives the store).
+	closed    chan struct{}
+	sweepDone chan struct{}
+	closeOnce sync.Once
+}
+
+type storeEntry struct {
+	key   Digest
+	bytes int64
 }
 
 // tempPrefix names in-progress atomic writes; see writeAtomic.
@@ -121,94 +173,248 @@ const tempPrefix = ".tmp-artifact-"
 // writer's in-progress Put is never yanked out from under it.
 const StaleTempAge = time.Hour
 
-// Open creates (if needed) and returns the store at dir. Stale
-// temp files from crashed runs are swept on the way in: a process
+// Open creates (if needed) and returns an unbounded store at dir —
+// the compatibility constructor; OpenLocal adds the eviction budget.
+func Open(dir string) (*Store, error) {
+	return OpenLocal(dir, LocalOptions{})
+}
+
+// OpenLocal creates (if needed) and returns the store at dir. Stale
+// temp files from crashed runs are swept in the background: a process
 // killed mid-Put leaves its .tmp-artifact-* file behind (the deferred
 // cleanup never runs), and without the sweep those orphans accumulate
-// in the store root forever.
-func Open(dir string) (*Store, error) {
+// in the store root forever. The sweep runs on its own goroutine so a
+// daemon opening a large store serves its first request immediately
+// instead of waiting on a full ReadDir; Close (or process exit) stops
+// it. With a positive Budget the existing artifacts are indexed
+// synchronously (mtime-ordered) so eviction accounting is exact from
+// the first Put.
+func OpenLocal(dir string, opts LocalOptions) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("artifact: empty store directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: creating store root: %w", err)
 	}
-	s := &Store{root: dir}
-	s.sweepStaleTemp(time.Now())
+	s := &Store{
+		root:      dir,
+		budget:    opts.Budget,
+		closed:    make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	if s.budget > 0 {
+		s.order = list.New()
+		s.index = make(map[Digest]*list.Element)
+		if err := s.buildIndex(); err != nil {
+			return nil, err
+		}
+		s.evictOver("")
+	}
+	go s.sweepStaleTemp(time.Now())
 	return s, nil
 }
 
-// sweepStaleTemp removes temp files in the store root older than
-// StaleTempAge. Best-effort: sweep errors are ignored (a concurrently
-// finishing rename, a permission oddity) — the next Open retries.
-// Returns the number of orphans removed.
-func (s *Store) sweepStaleTemp(now time.Time) int {
+// Name implements Backend.
+func (s *Store) Name() string { return "local:" + s.root }
+
+// Close stops the background sweep. The store's files stay on disk.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	<-s.sweepDone
+	return nil
+}
+
+// sweepStaleTemp removes temp files older than StaleTempAge from the
+// store root (WriteFileAtomic debris, pre-sharding stores) and from
+// every shard directory (where Put stages its writes). Best-effort:
+// sweep errors are ignored (a concurrently finishing rename, a
+// permission oddity) — the next Open retries. The closed guard stops
+// the sweep mid-walk when the store is closed.
+func (s *Store) sweepStaleTemp(now time.Time) {
+	defer close(s.sweepDone)
 	entries, err := os.ReadDir(s.root)
 	if err != nil {
-		return 0
+		return
 	}
-	removed := 0
+	sweepDir := func(dir string, entries []os.DirEntry) bool {
+		for _, e := range entries {
+			select {
+			case <-s.closed:
+				return false
+			default:
+			}
+			if e.IsDir() || !strings.HasPrefix(e.Name(), tempPrefix) {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			if now.Sub(info.ModTime()) < StaleTempAge {
+				continue
+			}
+			if os.Remove(filepath.Join(dir, e.Name())) == nil {
+				sweepOrphansTotal.Inc()
+			}
+		}
+		return true
+	}
+	if !sweepDir(s.root, entries) {
+		return
+	}
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasPrefix(e.Name(), tempPrefix) {
+		if !e.IsDir() || len(e.Name()) != 2 {
 			continue
 		}
-		info, err := e.Info()
+		shard := filepath.Join(s.root, e.Name())
+		files, err := os.ReadDir(shard)
 		if err != nil {
 			continue
 		}
-		if now.Sub(info.ModTime()) < StaleTempAge {
-			continue
-		}
-		if os.Remove(filepath.Join(s.root, e.Name())) == nil {
-			removed++
+		if !sweepDir(shard, files) {
+			return
 		}
 	}
-	return removed
+}
+
+// waitSweep blocks until the background orphan sweep has finished
+// (tests synchronize on it; production code never needs to).
+func (s *Store) waitSweep() { <-s.sweepDone }
+
+// buildIndex seeds the eviction index from the artifacts already on
+// disk, ordered by mtime so the stalest files are first in line.
+func (s *Store) buildIndex() error {
+	type seed struct {
+		key   Digest
+		bytes int64
+		mtime time.Time
+	}
+	var seeds []seed
+	shards, err := os.ReadDir(s.root)
+	if err != nil {
+		return fmt.Errorf("artifact: indexing store: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.root, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			key := Digest(f.Name())
+			if ValidateKey(key) != nil {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			seeds = append(seeds, seed{key: key, bytes: info.Size(), mtime: info.ModTime()})
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].mtime.Before(seeds[j].mtime) })
+	for _, sd := range seeds {
+		s.index[sd.key] = s.order.PushFront(&storeEntry{key: sd.key, bytes: sd.bytes})
+		s.total += sd.bytes
+	}
+	localBytes.Set(float64(s.total))
+	return nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.root }
 
-// Path returns where the artifact for key lives (whether or not it
-// exists yet).
-func (s *Store) Path(key Digest) string {
-	k := string(key)
-	if len(k) < 2 {
-		k = "__" + k
+// shardFor maps a validated key to its shard lock.
+func (s *Store) shardFor(key Digest) *sync.Mutex {
+	return &s.shards[hexByte(key[0])<<4|hexByte(key[1])]
+}
+
+func hexByte(c byte) int {
+	if c <= '9' {
+		return int(c - '0')
 	}
-	return filepath.Join(s.root, k[:2], string(key))
+	return int(c-'a') + 10
+}
+
+// Path returns where the artifact for key lives (whether or not it
+// exists yet), or an error for a malformed key: short or non-hex keys
+// must fail, never silently shard.
+func (s *Store) Path(key Digest) (string, error) {
+	if err := ValidateKey(key); err != nil {
+		return "", err
+	}
+	return filepath.Join(s.root, string(key[:2]), string(key)), nil
+}
+
+// touch marks key most-recently-used in the eviction index (no-op
+// without a budget).
+func (s *Store) touch(key Digest) {
+	if s.budget <= 0 {
+		return
+	}
+	s.emu.Lock()
+	if el, ok := s.index[key]; ok {
+		s.order.MoveToFront(el)
+	}
+	s.emu.Unlock()
 }
 
 // Has reports whether an artifact for key is present.
-func (s *Store) Has(key Digest) bool {
-	st, err := os.Stat(s.Path(key))
-	return err == nil && st.Mode().IsRegular()
+func (s *Store) Has(_ context.Context, key Digest) bool {
+	path, err := s.Path(key)
+	if err != nil {
+		return false
+	}
+	st, err := os.Stat(path)
+	if err != nil || !st.Mode().IsRegular() {
+		return false
+	}
+	s.touch(key)
+	return true
 }
 
 // Stat hashes the stored artifact for key and returns its info, or
 // ok=false when absent.
-func (s *Store) Stat(key Digest) (Info, bool, error) {
-	path := s.Path(key)
+func (s *Store) Stat(_ context.Context, key Digest) (Info, bool, error) {
+	path, err := s.Path(key)
+	if err != nil {
+		return Info{}, false, err
+	}
 	st, err := os.Stat(path)
 	if err != nil {
 		if os.IsNotExist(err) {
+			localMissesTotal.Inc()
 			return Info{}, false, nil
 		}
 		return Info{}, false, err
 	}
 	content, err := HashFile(path)
 	if err != nil {
+		if os.IsNotExist(err) { // evicted between stat and open
+			localMissesTotal.Inc()
+			return Info{}, false, nil
+		}
 		return Info{}, false, err
 	}
+	localHitsTotal.Inc()
+	s.touch(key)
 	return Info{Key: key, Content: content, Bytes: st.Size()}, true, nil
 }
 
-// Open returns a reader over the artifact stored for key.
-func (s *Store) Open(key Digest) (io.ReadCloser, error) {
-	f, err := os.Open(s.Path(key))
+// Open returns a reader over the artifact stored for key. The
+// descriptor stays valid even if the key is evicted mid-read.
+func (s *Store) Open(_ context.Context, key Digest) (io.ReadCloser, error) {
+	path, err := s.Path(key)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("artifact: opening %s: %w", key.Short(), err)
 	}
+	s.touch(key)
 	return f, nil
 }
 
@@ -216,14 +422,41 @@ func (s *Store) Open(key Digest) (io.ReadCloser, error) {
 // into a temp file in the store root which is fsynced and renamed into
 // place only on success. An encoder error or a crash mid-write leaves
 // no partial artifact behind. The returned Info carries the content
-// digest and size of the stored bytes.
-func (s *Store) Put(key Digest, encode func(io.Writer) error) (Info, error) {
-	final := s.Path(key)
+// digest and size of the stored bytes. With a budget, Put then evicts
+// least-recently-used artifacts (never the one just written) until the
+// store fits again.
+func (s *Store) Put(_ context.Context, key Digest, encode func(io.Writer) error) (Info, error) {
+	final, err := s.Path(key)
+	if err != nil {
+		return Info{}, err
+	}
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
 		return Info{}, fmt.Errorf("artifact: creating shard dir: %w", err)
 	}
+	// Content-addressed dedupe: an artifact file on disk is always
+	// complete (publish is an atomic rename) and the key names its
+	// payload, so re-Putting a present key buys nothing — hash the
+	// existing bytes for the caller's Info and skip the write + fsync,
+	// the way git leaves already-present objects alone. If the file
+	// vanishes mid-hash (a concurrent eviction), fall through and write
+	// it fresh.
+	if fi, statErr := os.Stat(final); statErr == nil && fi.Mode().IsRegular() {
+		if content, hashErr := HashFile(final); hashErr == nil {
+			now := time.Now()
+			_ = os.Chtimes(final, now, now) // best-effort recency for reopened stores
+			s.touch(key)
+			localDedupedPutsTotal.Inc()
+			return Info{Key: key, Content: content, Bytes: fi.Size()}, nil
+		}
+	}
 	info := Info{Key: key}
-	err := writeAtomic(s.root, final, func(w io.Writer) error {
+	// Encode outside the shard lock — only the publish rename and the
+	// index update need mutual exclusion with same-shard evictions. The
+	// temp file lives in the shard directory, not the root: temp create
+	// and publish rename then contend on that shard's directory inode
+	// alone, so concurrent Puts to different shards overlap fully in
+	// the kernel.
+	err = writeAtomicStaged(filepath.Dir(final), final, func(w io.Writer) error {
 		h := sha256.New()
 		cw := &countWriter{w: io.MultiWriter(w, h)}
 		if err := encode(cw); err != nil {
@@ -232,11 +465,92 @@ func (s *Store) Put(key Digest, encode func(io.Writer) error) (Info, error) {
 		info.Content = Digest(hex.EncodeToString(h.Sum(nil)))
 		info.Bytes = cw.n
 		return nil
+	}, func(publish func() error) error {
+		mu := s.shardFor(key)
+		mu.Lock()
+		defer mu.Unlock()
+		if err := publish(); err != nil {
+			return err
+		}
+		s.record(key, info.Bytes)
+		return nil
 	})
 	if err != nil {
 		return Info{}, err
 	}
+	localPutBytesTotal.Add(info.Bytes)
+	s.evictOver(key)
 	return info, nil
+}
+
+// record updates the eviction index after a publish (shard lock held).
+func (s *Store) record(key Digest, bytes int64) {
+	if s.budget <= 0 {
+		return
+	}
+	s.emu.Lock()
+	if el, ok := s.index[key]; ok {
+		// Content-addressed overwrite: same key, same bytes.
+		s.order.MoveToFront(el)
+	} else {
+		s.index[key] = s.order.PushFront(&storeEntry{key: key, bytes: bytes})
+		s.total += bytes
+	}
+	localBytes.Set(float64(s.total))
+	s.emu.Unlock()
+}
+
+// evictOver removes least-recently-used artifacts until total <=
+// budget, skipping keep (the key a Put just wrote). Victims are
+// unlinked under their shard lock, so a concurrent Put of the same key
+// cannot interleave with the remove; readers holding open descriptors
+// are unaffected by the unlink.
+func (s *Store) evictOver(keep Digest) {
+	if s.budget <= 0 {
+		return
+	}
+	for {
+		s.emu.Lock()
+		if s.total <= s.budget {
+			s.emu.Unlock()
+			return
+		}
+		// Oldest entry that is not the protected key.
+		el := s.order.Back()
+		for el != nil && el.Value.(*storeEntry).key == keep {
+			el = el.Prev()
+		}
+		if el == nil {
+			s.emu.Unlock()
+			return
+		}
+		victim := el.Value.(*storeEntry)
+		s.emu.Unlock()
+
+		mu := s.shardFor(victim.key)
+		mu.Lock()
+		s.emu.Lock()
+		// Re-check under both locks: a concurrent touch/Put may have
+		// revived the entry or another evictor may have beaten us.
+		el, ok := s.index[victim.key]
+		if !ok {
+			s.emu.Unlock()
+			mu.Unlock()
+			continue
+		}
+		entry := el.Value.(*storeEntry)
+		s.order.Remove(el)
+		delete(s.index, victim.key)
+		s.total -= entry.bytes
+		localBytes.Set(float64(s.total))
+		s.emu.Unlock()
+		path := filepath.Join(s.root, string(victim.key[:2]), string(victim.key))
+		if os.Remove(path) == nil {
+			localEvictionsTotal.Inc()
+			localEvictedBytesTotal.Add(entry.bytes)
+		}
+		mu.Unlock()
+	}
 }
 
 // WriteFileAtomic writes a file through the store's temp-then-rename
@@ -255,6 +569,15 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 // writeAtomic streams write into a temp file under tmpDir and renames
 // it to final on success. On any error the temp file is removed.
 func writeAtomic(tmpDir, final string, write func(io.Writer) error) error {
+	return writeAtomicStaged(tmpDir, final, write, func(publish func() error) error {
+		return publish()
+	})
+}
+
+// writeAtomicStaged is writeAtomic with the publish rename handed to
+// wrap, so a caller can take a lock around just the rename (and its
+// own bookkeeping) while the encode streams unlocked.
+func writeAtomicStaged(tmpDir, final string, write func(io.Writer) error, wrap func(publish func() error) error) error {
 	tmp, err := os.CreateTemp(tmpDir, tempPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("artifact: creating temp file: %w", err)
@@ -275,7 +598,9 @@ func writeAtomic(tmpDir, final string, write func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("artifact: closing temp file: %w", err)
 	}
-	if err := os.Rename(tmpName, final); err != nil {
+	if err := wrap(func() error {
+		return os.Rename(tmpName, final)
+	}); err != nil {
 		os.Remove(tmpName)
 		tmpName = ""
 		return fmt.Errorf("artifact: publishing %s: %w", filepath.Base(final), err)

@@ -1,0 +1,405 @@
+// Package benchstore records the tiered artifact-store benchmark into
+// BENCH_store.json at the repository root. It is a test package only:
+// run via
+//
+//	make bench-store
+//
+// (equivalently: go test ./internal/benchstore -run RecordStoreBench
+// -record-store-bench). Three gates must hold or the file is not
+// written:
+//
+//  1. concurrent mixed Put/Get at 8 workers on the sharded local
+//     backend must be at least 2x the throughput of a flat
+//     single-directory store guarded by one global mutex (the
+//     pre-sharding design, kept here as the reference);
+//  2. a warm memory-tier Get must perform zero filesystem syscalls —
+//     proven structurally by destroying the local tier under a warmed
+//     mem tier — and zero allocations per op in steady state;
+//  3. eviction must keep the local store within its byte budget with
+//     every surviving artifact reading back bit-identical.
+//
+// The BenchmarkMemWarmGet / BenchmarkShardedMixedPutGet /
+// BenchmarkFlatMixedPutGet functions re-run under `make benchdiff`
+// (CI smokes them at -benchtime 1x), so each warms its store before
+// the timer starts.
+package benchstore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"auditherm/internal/artifact"
+)
+
+var recordStoreBench = flag.Bool("record-store-bench", false,
+	"measure the tiered-store gates and write BENCH_store.json at the repo root")
+
+// minShardedSpeedup is gate 1: sharded-vs-flat throughput floor.
+const minShardedSpeedup = 2.0
+
+const (
+	benchKeyspace = 64
+	benchPayload  = 4096
+	benchWorkers  = 8
+)
+
+// kvStore is the minimal surface the mixed workload drives, so the
+// sharded backend and the flat reference run the identical op stream.
+type kvStore interface {
+	put(key artifact.Digest, data []byte) error
+	get(key artifact.Digest) ([]byte, error) // miss -> nil, nil
+}
+
+// shardedKV adapts the real sharded backend.
+type shardedKV struct{ st *artifact.Store }
+
+func (s shardedKV) put(key artifact.Digest, data []byte) error {
+	_, err := s.st.Put(context.Background(), key, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+	return err
+}
+
+func (s shardedKV) get(key artifact.Digest) ([]byte, error) {
+	rc, err := s.st.Open(context.Background(), key)
+	if err != nil {
+		if artifact.IsNotFound(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}
+
+// flatStore is the pre-sharding reference design: one flat directory,
+// one global mutex held across the whole file operation (content hash
+// + write + fsync + rename on Put, open + read on Get). Same
+// durability and digest work as the sharded store; what it lacks is
+// the sharded store's concurrency (per-shard locks, lock-free reads)
+// and its content-addressed dedupe of repeat Puts.
+type flatStore struct {
+	mu  sync.Mutex
+	dir string
+}
+
+func (f *flatStore) put(key artifact.Digest, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// A content-addressed store computes the payload digest on every
+	// Put; the serial design pays it under the global lock.
+	_ = artifact.HashBytes(data)
+	tmp, err := os.CreateTemp(f.dir, ".tmp-flat-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(f.dir, string(key)))
+}
+
+func (f *flatStore) get(key artifact.Digest) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, err := os.ReadFile(filepath.Join(f.dir, string(key)))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return data, err
+}
+
+func benchKeys() ([]artifact.Digest, [][]byte) {
+	keys := make([]artifact.Digest, benchKeyspace)
+	payloads := make([][]byte, benchKeyspace)
+	for i := range keys {
+		keys[i] = artifact.HashBytes([]byte(fmt.Sprintf("bench-store-%d", i)))
+		p := bytes.Repeat([]byte{byte(i + 1)}, benchPayload)
+		copy(p, fmt.Sprintf("payload-%02d", i))
+		payloads[i] = p
+	}
+	return keys, payloads
+}
+
+// seedHalf warms every even key so the mixed stream's Gets can hit.
+func seedHalf(tb testing.TB, kv kvStore, keys []artifact.Digest, payloads [][]byte) {
+	tb.Helper()
+	for i := 0; i < len(keys); i += 2 {
+		if err := kv.put(keys[i], payloads[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// benchMixed drives the shared mixed workload: 8 workers, alternating
+// Put and Get, Gets verified byte-identical on hit. The op stream is a
+// shared atomic counter, so the mix is identical regardless of
+// scheduling.
+func benchMixed(b *testing.B, kv kvStore) {
+	keys, payloads := benchKeys()
+	seedHalf(b, kv, keys, payloads)
+	var idx atomic.Int64
+	b.SetParallelism(benchWorkers) // 8 workers even at GOMAXPROCS=1
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			op := idx.Add(1)
+			i := int(op) % benchKeyspace
+			if op%2 == 0 {
+				if err := kv.put(keys[i], payloads[i]); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			data, err := kv.get(keys[i])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if data != nil && !bytes.Equal(data, payloads[i]) {
+				b.Errorf("key %d returned foreign bytes", i)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkShardedMixedPutGet(b *testing.B) {
+	st, err := artifact.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	benchMixed(b, shardedKV{st})
+}
+
+func BenchmarkFlatMixedPutGet(b *testing.B) {
+	benchMixed(b, &flatStore{dir: b.TempDir()})
+}
+
+// BenchmarkMemWarmGet is the hot-tier steady state: a byte-cache hit
+// must cost zero allocations and touch no filesystem. Warmed before
+// the timer so the CI -benchtime 1x smoke measures a true hit.
+func BenchmarkMemWarmGet(b *testing.B) {
+	m := artifact.NewMem(1 << 20)
+	keys, payloads := benchKeys()
+	key, payload := keys[0], payloads[0]
+	m.PutBytes(key, payload, artifact.Info{
+		Key: key, Content: artifact.HashBytes(payload), Bytes: int64(len(payload)),
+	})
+	if _, _, ok := m.GetBytes(key); !ok {
+		b.Fatal("warmup miss")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := m.GetBytes(key); !ok {
+			b.Fatal("warm get missed")
+		}
+	}
+}
+
+type benchEntry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is a pointer so an exact-zero gate survives
+	// marshaling (omitempty would drop 0) while the mixed benchmarks,
+	// which legitimately allocate, record no allocs gate at all.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Note        string   `json:"note,omitempty"`
+}
+
+type gateResults struct {
+	ShardedVsFlatSpeedup       float64 `json:"sharded_vs_flat_speedup"`
+	MemWarmGetAllocs           int64   `json:"mem_warm_get_allocs_per_op"`
+	MemSurvivesLocalLoss       bool    `json:"mem_warm_get_survives_local_destruction"`
+	EvictionWithinBudget       bool    `json:"eviction_within_budget"`
+	EvictionSurvivorsIdentical bool    `json:"eviction_survivors_bit_identical"`
+}
+
+type benchFile struct {
+	Generated  string                `json:"generated"`
+	GoVersion  string                `json:"go_version"`
+	NumCPU     int                   `json:"num_cpu"`
+	Note       string                `json:"note"`
+	Reproduce  string                `json:"reproduce"`
+	Gates      gateResults           `json:"gates"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+// TestRecordStoreBench measures the three tier gates and writes
+// BENCH_store.json, refusing if any gate fails.
+func TestRecordStoreBench(t *testing.T) {
+	if !*recordStoreBench {
+		t.Skip("run with -record-store-bench (make bench-store) to record")
+	}
+	var gates gateResults
+
+	// Gate 1: sharded-vs-flat mixed throughput at 8 workers.
+	sharded := testing.Benchmark(BenchmarkShardedMixedPutGet)
+	flat := testing.Benchmark(BenchmarkFlatMixedPutGet)
+	if sharded.N == 0 || flat.N == 0 {
+		t.Fatal("mixed benchmarks did not run")
+	}
+	gates.ShardedVsFlatSpeedup = float64(flat.NsPerOp()) / float64(sharded.NsPerOp())
+	if gates.ShardedVsFlatSpeedup < minShardedSpeedup {
+		t.Errorf("sharded mixed Put/Get is %.2fx the flat store, below the %.0fx gate (sharded %d ns/op, flat %d ns/op)",
+			gates.ShardedVsFlatSpeedup, minShardedSpeedup, sharded.NsPerOp(), flat.NsPerOp())
+	}
+
+	// Gate 2a: steady-state mem hit allocates nothing.
+	memRes := testing.Benchmark(BenchmarkMemWarmGet)
+	gates.MemWarmGetAllocs = memRes.AllocsPerOp()
+	memAllocs := float64(memRes.AllocsPerOp())
+	if gates.MemWarmGetAllocs != 0 {
+		t.Errorf("mem warm get allocates %d/op, want 0", gates.MemWarmGetAllocs)
+	}
+
+	// Gate 2b: structural zero-syscall proof — warm the tiered stack,
+	// destroy the local tier's directory, and the hot tier must still
+	// serve the bytes (a filesystem-touching hit would fail here).
+	gates.MemSurvivesLocalLoss = func() bool {
+		dir := t.TempDir()
+		tiered, err := artifact.OpenSpec("mem,local", artifact.SpecOptions{LocalRoot: dir})
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		defer tiered.Close()
+		ctx := context.Background()
+		keys, payloads := benchKeys()
+		key, payload := keys[1], payloads[1]
+		if _, err := tiered.Put(ctx, key, func(w io.Writer) error {
+			_, err := w.Write(payload)
+			return err
+		}); err != nil {
+			t.Error(err)
+			return false
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			t.Error(err)
+			return false
+		}
+		rc, err := tiered.Open(ctx, key)
+		if err != nil {
+			t.Errorf("warm get after local destruction: %v", err)
+			return false
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil || !bytes.Equal(data, payload) {
+			t.Errorf("warm get after local destruction: %d bytes, err %v", len(data), err)
+			return false
+		}
+		return true
+	}()
+
+	// Gate 3: eviction honors the byte budget, survivors bit-identical.
+	gates.EvictionWithinBudget, gates.EvictionSurvivorsIdentical = func() (bool, bool) {
+		budget := int64(8 * benchPayload)
+		st, err := artifact.OpenLocal(t.TempDir(), artifact.LocalOptions{Budget: budget})
+		if err != nil {
+			t.Error(err)
+			return false, false
+		}
+		defer st.Close()
+		keys, payloads := benchKeys()
+		for i := range keys {
+			if err := (shardedKV{st}).put(keys[i], payloads[i]); err != nil {
+				t.Error(err)
+				return false, false
+			}
+		}
+		var total int64
+		identical := true
+		for i := range keys {
+			data, err := (shardedKV{st}).get(keys[i])
+			if err != nil {
+				t.Error(err)
+				return false, false
+			}
+			if data == nil {
+				continue // evicted
+			}
+			total += int64(len(data))
+			if !bytes.Equal(data, payloads[i]) {
+				identical = false
+				t.Errorf("survivor %d corrupted by eviction", i)
+			}
+		}
+		within := total <= budget
+		if !within {
+			t.Errorf("store holds %d bytes after eviction, budget %d", total, budget)
+		}
+		return within, identical
+	}()
+
+	if t.Failed() {
+		t.Fatal("gates failed; BENCH_store.json not written")
+	}
+
+	out := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Note: fmt.Sprintf("tiered artifact store: %d-key/%dB mixed Put/Get at %d workers, sharded (256 shards, per-shard locks) vs flat single-mutex reference; mem hot-tier warm hit; LRU eviction budget",
+			benchKeyspace, benchPayload, benchWorkers),
+		Reproduce: "make bench-store",
+		Gates:     gates,
+		Benchmarks: map[string]benchEntry{
+			"benchstore/BenchmarkShardedMixedPutGet": {
+				Name:    "benchstore/BenchmarkShardedMixedPutGet",
+				NsPerOp: float64(sharded.NsPerOp()),
+				Note:    "mixed Put/Get, 8 workers, sharded local backend",
+			},
+			"benchstore/BenchmarkFlatMixedPutGet": {
+				Name:    "benchstore/BenchmarkFlatMixedPutGet",
+				NsPerOp: float64(flat.NsPerOp()),
+				Note:    "mixed Put/Get, 8 workers, flat single-mutex reference",
+			},
+			"benchstore/BenchmarkMemWarmGet": {
+				Name:        "benchstore/BenchmarkMemWarmGet",
+				NsPerOp:     float64(memRes.NsPerOp()),
+				AllocsPerOp: &memAllocs,
+				Note:        "steady-state hot-tier byte-cache hit (0 allocs, no filesystem)",
+			},
+		},
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.WriteFileAtomic("../../BENCH_store.json", func(w io.Writer) error {
+		_, err := w.Write(append(buf, '\n'))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sharded %.2fx flat (sharded %d ns/op, flat %d ns/op), mem warm get %d ns/op %d allocs; wrote BENCH_store.json",
+		gates.ShardedVsFlatSpeedup, sharded.NsPerOp(), flat.NsPerOp(), memRes.NsPerOp(), memRes.AllocsPerOp())
+}

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"auditherm/internal/artifact"
 	"auditherm/internal/monitor"
 	"auditherm/internal/obs"
 	"auditherm/internal/par"
@@ -44,6 +45,7 @@ type Common struct {
 	AlertLog    string
 	LogLevel    string
 	CacheDir    string
+	Store       string
 	Force       bool
 	Trace       string
 
@@ -70,6 +72,8 @@ func RegisterOn(fs *flag.FlagSet, c *Common) {
 		"structured log level: debug, info, warn or error")
 	fs.StringVar(&c.CacheDir, "cache-dir", os.Getenv("AUDITHERM_CACHE"),
 		"content-addressed artifact cache directory; warm stages are skipped and rehydrated bit-identically (default $AUDITHERM_CACHE, empty disables caching)")
+	fs.StringVar(&c.Store, "store", os.Getenv("AUDITHERM_STORE"),
+		"artifact store tier spec, hot to cold: mem[:SIZE],local[:SIZE][=DIR],remote=URL (default $AUDITHERM_STORE; empty selects a plain local store at -cache-dir; remote auth via $AUDITHERM_STORE_TOKEN)")
 	fs.BoolVar(&c.Force, "force", false,
 		"recompute every pipeline stage even when its artifact is cached, refreshing the cache in place")
 	fs.StringVar(&c.Trace, "trace", "",
@@ -106,6 +110,13 @@ type Runtime struct {
 	// WriteManifest so Close does not write twice.
 	manifest     *obs.ManifestBuilder
 	manifestDone bool
+
+	// store is the run's artifact backend, built once by OpenStore and
+	// closed by Close; storeSet distinguishes "not opened yet" from
+	// "opened and caching is off" (store == nil).
+	store    artifact.Backend
+	storeErr error
+	storeSet bool
 
 	// signalStop detaches the SignalContext handler (idempotent).
 	signalStop func()
@@ -228,6 +239,11 @@ func (rt *Runtime) MonitorEnabled() bool { return rt.common.Monitor }
 // instead of calling Engine once.
 func (rt *Runtime) CacheDir() string { return rt.common.CacheDir }
 
+// StoreSpec returns the effective -store tier spec (possibly from
+// $AUDITHERM_STORE). Daemons that build their own backend read it
+// instead of calling OpenStore.
+func (rt *Runtime) StoreSpec() string { return rt.common.Store }
+
 // ForceRequested reports whether -force was passed.
 func (rt *Runtime) ForceRequested() bool { return rt.common.Force }
 
@@ -274,13 +290,53 @@ func (rt *Runtime) AttachMonitor(m *monitor.Monitor) error {
 	return nil
 }
 
-// Engine builds the run's pipeline engine over the -cache-dir artifact
-// store (caching disabled when the flag and $AUDITHERM_CACHE are both
+// OpenStore builds the run's artifact backend from -store (tier spec)
+// or, when the spec is empty, a plain local store at -cache-dir — the
+// pre-tiering CLI behavior. Both empty means caching is off and the
+// returned backend is nil with a nil error. The backend is memoized
+// (every Engine in the run shares one tier stack, so the mem tier's
+// hits accumulate across engines) and closed by Runtime.Close.
+func (rt *Runtime) OpenStore() (artifact.Backend, error) {
+	if rt.storeSet {
+		return rt.store, rt.storeErr
+	}
+	rt.storeSet = true
+	spec := rt.common.Store
+	if spec == "" {
+		if rt.common.CacheDir == "" {
+			return nil, nil
+		}
+		st, err := artifact.Open(rt.common.CacheDir)
+		if err != nil {
+			rt.storeErr = fmt.Errorf("%s: %w", rt.Tool, err)
+			return nil, rt.storeErr
+		}
+		rt.store = st
+		return st, nil
+	}
+	b, err := artifact.OpenSpec(spec, artifact.SpecOptions{
+		LocalRoot: rt.common.CacheDir,
+		Token:     os.Getenv("AUDITHERM_STORE_TOKEN"),
+	})
+	if err != nil {
+		rt.storeErr = fmt.Errorf("%s: -store %q: %w", rt.Tool, spec, err)
+		return nil, rt.storeErr
+	}
+	rt.store = b
+	return b, nil
+}
+
+// Engine builds the run's pipeline engine over the -store backend (or
+// the plain -cache-dir local store; caching disabled when both are
 // empty), honoring -force and -parallelism, and recording per-stage
 // artifacts into b (which may be nil).
 func (rt *Runtime) Engine(b *obs.ManifestBuilder) (*pipeline.Engine, error) {
+	backend, err := rt.OpenStore()
+	if err != nil {
+		return nil, err
+	}
 	eng, err := pipeline.New(pipeline.Options{
-		CacheDir: rt.common.CacheDir,
+		Backend:  backend,
 		Force:    rt.common.Force,
 		Manifest: b,
 		Workers:  rt.common.Parallelism,
@@ -290,7 +346,7 @@ func (rt *Runtime) Engine(b *obs.ManifestBuilder) (*pipeline.Engine, error) {
 	}
 	if eng.Cached() {
 		rt.Log.Info("pipeline cache enabled",
-			slog.String("dir", eng.Store().Dir()), slog.Bool("force", rt.common.Force))
+			slog.String("store", eng.Store().Name()), slog.Bool("force", rt.common.Force))
 	}
 	return eng, nil
 }
@@ -313,7 +369,7 @@ func (rt *Runtime) PrintCacheSummary(eng *pipeline.Engine) {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "pipeline: %d/%d stages served warm from %s\n",
-		hits, len(results), eng.Store().Dir())
+		hits, len(results), eng.Store().Name())
 	for _, r := range results {
 		status := "miss"
 		switch {
@@ -403,6 +459,12 @@ func (rt *Runtime) Close() {
 			fmt.Fprintf(os.Stderr, "%s: closing alert journal: %v\n", rt.Tool, err)
 		}
 		rt.journal = nil
+	}
+	if rt.store != nil {
+		if err := rt.store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: closing artifact store: %v\n", rt.Tool, err)
+		}
+		rt.store = nil
 	}
 	if rt.Metrics != nil {
 		_ = rt.Metrics.Close()

@@ -19,6 +19,8 @@ var (
 		"Cache entries deliberately bypassed by -force despite being present.")
 	decodesTotal = obs.NewCounter("auditherm_pipeline_decodes_total",
 		"Cached artifacts rehydrated on demand (lazy value decodes).")
+	evictedRecomputesTotal = obs.NewCounter("auditherm_pipeline_evicted_recomputes_total",
+		"Stage values recomputed because the artifact was evicted between hit and decode.")
 	writeBytesTotal = obs.NewCounter("auditherm_pipeline_artifact_write_bytes_total",
 		"Bytes written to the artifact store.")
 	readBytesTotal = obs.NewCounter("auditherm_pipeline_artifact_read_bytes_total",

@@ -33,9 +33,16 @@ import (
 
 // Options configures an Engine.
 type Options struct {
-	// CacheDir roots the content-addressed artifact store. Empty
-	// disables caching: every stage recomputes (still traced and
-	// recorded in the manifest, without keys).
+	// Backend, when set, is the artifact store the engine caches
+	// through — typically a tiered stack (mem -> local -> remote)
+	// shared across engines, so the in-memory hot tier and the
+	// decoded-value cache survive from one request's engine to the
+	// next. Takes precedence over CacheDir.
+	Backend artifact.Backend
+	// CacheDir roots a plain local content-addressed store (the
+	// single-process CLI path). Empty with no Backend disables
+	// caching: every stage recomputes (still traced and recorded in
+	// the manifest, without keys).
 	CacheDir string
 	// Force recomputes every stage even when its key is present,
 	// refreshing the cached artifact in place.
@@ -53,9 +60,13 @@ type Options struct {
 // resume. Create one per run; define nodes with Define or the stage
 // constructors in stages.go, then call Get on the outputs you need.
 type Engine struct {
-	store   *artifact.Store
+	store   artifact.Backend
+	values  artifact.ValueCacher // non-nil when the backend memoizes decoded values
 	force   bool
 	workers int
+	// ownStore marks a store the engine opened itself (CacheDir) and
+	// must close; injected Backends belong to the caller.
+	ownStore bool
 
 	mmu      sync.Mutex // guards manifest
 	manifest *obs.ManifestBuilder
@@ -72,12 +83,19 @@ func New(opts Options) (*Engine, error) {
 		workers:  opts.Workers,
 		manifest: opts.Manifest,
 	}
-	if opts.CacheDir != "" {
+	switch {
+	case opts.Backend != nil:
+		e.store = opts.Backend
+	case opts.CacheDir != "":
 		st, err := artifact.Open(opts.CacheDir)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
 		e.store = st
+		e.ownStore = true
+	}
+	if vc, ok := e.store.(artifact.ValueCacher); ok {
+		e.values = vc
 	}
 	return e, nil
 }
@@ -86,7 +104,16 @@ func New(opts Options) (*Engine, error) {
 func (e *Engine) Cached() bool { return e.store != nil }
 
 // Store exposes the backing artifact store (nil when caching is off).
-func (e *Engine) Store() *artifact.Store { return e.store }
+func (e *Engine) Store() artifact.Backend { return e.store }
+
+// Close releases a store the engine opened itself (the CacheDir path);
+// injected backends are left to their owner. Safe on a nil store.
+func (e *Engine) Close() error {
+	if e.ownStore && e.store != nil {
+		return e.store.Close()
+	}
+	return nil
+}
 
 // Result describes one resolved stage.
 type Result struct {
@@ -321,7 +348,7 @@ func (n *node) run(ctx context.Context) (err error) {
 	n.res.Key = key
 	sp.SetAttr(obs.String("cache_key", key.Short()))
 	if !n.eng.force {
-		if info, ok, err := n.eng.store.Stat(key); err != nil {
+		if info, ok, err := n.eng.store.Stat(sctx, key); err != nil {
 			return fmt.Errorf("pipeline: stage %s cache stat: %w", n.name, err)
 		} else if ok {
 			cacheHitsTotal.Inc()
@@ -337,7 +364,7 @@ func (n *node) run(ctx context.Context) (err error) {
 			n.finish(t0, sp)
 			return nil
 		}
-	} else if n.eng.store.Has(key) {
+	} else if n.eng.store.Has(sctx, key) {
 		forceBypassTotal.Inc()
 	}
 
@@ -347,13 +374,18 @@ func (n *node) run(ctx context.Context) (err error) {
 	if err := n.computeValue(sctx); err != nil {
 		return err
 	}
-	info, err := n.eng.store.Put(key, func(w io.Writer) error {
+	info, err := n.eng.store.Put(sctx, key, func(w io.Writer) error {
 		return n.encode(w, n.val)
 	})
 	if err != nil {
 		return fmt.Errorf("pipeline: stage %s: %w", n.name, err)
 	}
 	writeBytesTotal.Add(info.Bytes)
+	// Seed the decoded-value cache with the freshly computed value, so
+	// another engine's warm hit on this artifact skips the decode too.
+	if n.eng.values != nil {
+		n.eng.values.PutValue(info.Content, n.val)
+	}
 	sp.SetCount("artifact_bytes", info.Bytes)
 	sp.SetAttr(obs.String("artifact_digest", info.Content.Short()))
 	sp.SetAttr(obs.Int("artifact_bytes", info.Bytes))
@@ -377,7 +409,12 @@ func (n *node) computeValue(ctx context.Context) error {
 }
 
 // value returns the stage's value, decoding the cached artifact on
-// first demand after a hit.
+// first demand after a hit. Decodes are memoized by content digest
+// when the backend offers a value cache, so repeated warm requests
+// across engines decode once per process instead of once per request;
+// memoized values are shared and must be treated as immutable. An
+// artifact evicted between the hit and this decode simply recomputes
+// from the stage function — eviction can cost work, never correctness.
 func (n *node) value(ctx context.Context) (any, error) {
 	n.vmu.Lock()
 	defer n.vmu.Unlock()
@@ -387,9 +424,19 @@ func (n *node) value(ctx context.Context) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if n.eng.values != nil && n.res.Digest != "" {
+		if v, ok := n.eng.values.Value(n.res.Digest); ok {
+			n.val = v
+			n.decoded = true
+			return n.val, nil
+		}
+	}
 	t0 := time.Now()
-	rc, err := n.eng.store.Open(n.res.Key)
+	rc, err := n.eng.store.Open(ctx, n.res.Key)
 	if err != nil {
+		if artifact.IsNotFound(err) {
+			return n.recomputeEvicted(ctx)
+		}
 		return nil, fmt.Errorf("pipeline: stage %s: %w", n.name, err)
 	}
 	defer rc.Close()
@@ -399,6 +446,23 @@ func (n *node) value(ctx context.Context) (any, error) {
 	}
 	decodesTotal.Inc()
 	decodeSeconds.Observe(time.Since(t0).Seconds())
+	if n.eng.values != nil && n.res.Digest != "" {
+		n.eng.values.PutValue(n.res.Digest, v)
+	}
+	n.val = v
+	n.decoded = true
+	return n.val, nil
+}
+
+// recomputeEvicted regenerates a stage value whose artifact was
+// evicted between the cache hit and the lazy decode (vmu held). The
+// recompute is not re-Put: the evictor reclaimed the space on purpose.
+func (n *node) recomputeEvicted(ctx context.Context) (any, error) {
+	evictedRecomputesTotal.Inc()
+	v, err := n.compute(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage %s recomputing evicted artifact: %w", n.name, err)
+	}
 	n.val = v
 	n.decoded = true
 	return n.val, nil

@@ -350,6 +350,10 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	s.envMu.Lock()
 	envCached := s.env != nil
 	s.envMu.Unlock()
+	store := ""
+	if s.backend != nil {
+		store = s.backend.Name()
+	}
 	resp := map[string]any{
 		"uptime_s":               time.Since(s.started).Seconds(),
 		"inflight":               s.InFlight(),
@@ -357,6 +361,9 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 		"response_cache_entries": s.cache.len(),
 		"env_cached":             envCached,
 		"artifact_cache_dir":     s.cfg.CacheDir,
+		"artifact_store":         store,
+		"artifact_mem_hits":      obs.Default.CounterValue("auditherm_artifact_mem_hits_total"),
+		"artifact_local_hits":    obs.Default.CounterValue("auditherm_artifact_local_hits_total"),
 		"requests_total":         obs.Default.CounterValue("auditherm_serve_requests_total"),
 		"response_cache_hits":    obs.Default.CounterValue("auditherm_serve_response_cache_hits_total"),
 		"response_cache_misses":  obs.Default.CounterValue("auditherm_serve_response_cache_misses_total"),

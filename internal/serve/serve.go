@@ -55,8 +55,15 @@ type Config struct {
 	Dataset dataset.Config
 	// CacheDir roots the shared artifact store. Empty disables the
 	// persistent warm layer (every request still gets the response
-	// LRU).
+	// LRU) unless Store names tiers that need no directory.
 	CacheDir string
+	// Store is the artifact tier spec ("mem,local,remote=URL"; see
+	// artifact.OpenSpec). Empty with a CacheDir selects "mem,local" —
+	// the daemon always fronts its disk store with the hot tier.
+	Store string
+	// StoreToken authenticates remote tiers and inbound
+	// /v1/artifacts requests. Empty disables auth.
+	StoreToken string
 	// Force recomputes stages even when cached (debugging).
 	Force bool
 	// Workers bounds each request engine's dependency fan-out.
@@ -88,6 +95,12 @@ type Server struct {
 	cache  *responseCache
 	flight *flightGroup
 
+	// backend is the shared artifact tier stack every request engine
+	// runs over (nil when caching is off); artifacts is the
+	// /v1/artifacts handler exposing it to remote-tier clients.
+	backend   artifact.Backend
+	artifacts *artifact.Handler
+
 	envMu sync.Mutex
 	env   *experiments.Env
 
@@ -112,15 +125,31 @@ func New(cfg Config, log *slog.Logger, root *obs.Span) (*Server, error) {
 	if cfg.ResponseCache <= 0 {
 		cfg.ResponseCache = 128
 	}
-	if cfg.CacheDir != "" {
-		// Fail fast on a misconfigured store path (and sweep stale
-		// temp orphans) before the first request pays for it.
-		if _, err := artifact.Open(cfg.CacheDir); err != nil {
+	spec := cfg.Store
+	if spec == "" && cfg.CacheDir != "" {
+		// The daemon's default stack fronts its disk store with the
+		// in-memory hot tier: warm requests never touch the filesystem.
+		spec = "mem,local"
+	}
+	var backend artifact.Backend
+	if spec != "" {
+		// Building the stack here fails fast on a misconfigured store
+		// (and starts the local tier's stale-temp orphan sweep) before
+		// the first request pays for it.
+		var err error
+		backend, err = artifact.OpenSpec(spec, artifact.SpecOptions{
+			LocalRoot: cfg.CacheDir,
+			Token:     cfg.StoreToken,
+		})
+		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 	}
 	if cfg.RunDir != "" {
 		if err := os.MkdirAll(cfg.RunDir, 0o755); err != nil {
+			if backend != nil {
+				backend.Close()
+			}
 			return nil, fmt.Errorf("serve: run dir: %w", err)
 		}
 	}
@@ -132,6 +161,10 @@ func New(cfg Config, log *slog.Logger, root *obs.Span) (*Server, error) {
 		started: time.Now(),
 		cache:   newResponseCache(cfg.ResponseCache),
 		flight:  newFlightGroup(),
+		backend: backend,
+	}
+	if backend != nil {
+		s.artifacts = artifact.NewHandler(backend, cfg.StoreToken)
 	}
 	// Enumerate the experiment catalog once on a throwaway engine;
 	// the ids validate /v1/report requests without building anything.
@@ -173,6 +206,41 @@ func (s *Server) MountMux(m muxer) {
 	m.Handle("/v1/select", s.handle("select", s.parseSelect))
 	m.Handle("/v1/control", s.handle("control", s.parseControl))
 	m.Handle("/v1/report", s.handle("report", s.parseReport))
+	if s.artifacts != nil {
+		// The artifact endpoint rides the daemon's drain gate so a
+		// shutdown never truncates a peer's fetch mid-body.
+		m.Handle(s.artifacts.PathPrefix(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.wg.Add(1)
+			defer s.wg.Done()
+			if s.draining.Load() {
+				drainRejectsTotal.Inc()
+				httpError(w, http.StatusServiceUnavailable, "draining: not accepting new requests")
+				return
+			}
+			s.inflight.Add(1)
+			inflightGauge.Add(1)
+			defer func() {
+				s.inflight.Add(-1)
+				inflightGauge.Add(-1)
+			}()
+			s.artifacts.ServeHTTP(w, r)
+		}))
+	}
+}
+
+// Backend exposes the daemon's shared artifact tier stack (nil when
+// caching is off); tests use it to inspect tier state.
+func (s *Server) Backend() artifact.Backend { return s.backend }
+
+// Close releases the daemon's shared artifact backend. Call after the
+// drain completes — in-flight requests hold engines over the backend.
+func (s *Server) Close() error {
+	if s.backend == nil {
+		return nil
+	}
+	err := s.backend.Close()
+	s.backend = nil
+	return err
 }
 
 // SetComputeHook installs fn at the head of every cache-miss
@@ -296,7 +364,7 @@ func (s *Server) handle(name string, parse parseFn) http.Handler {
 			b.SetRunID(runID)
 			b.SetConfig(withEndpoint(name, params))
 			eng, err := pipeline.New(pipeline.Options{
-				CacheDir: s.cfg.CacheDir,
+				Backend:  s.backend,
 				Force:    s.cfg.Force,
 				Manifest: b,
 				Workers:  s.cfg.Workers,
