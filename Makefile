@@ -33,9 +33,15 @@ build:
 # rides the same gate: obs spans mutate under par workers
 # (TestConcurrentSpanMutation drives StartChild/SetAttr/Event/End from
 # 8 goroutines against a live JSONL exporter), and internal/traceview
-# parses what they emit.
+# parses what they emit. Trace propagation widens the surface: Remote
+# fetch/put start client spans and inject X-Auditherm-Trace from 8
+# par workers under singleflight (TestRemoteTraceConcurrent), the
+# lock-free WireRef/sink parent walks ride every span End, and
+# internal/serve extracts links and tallies per-endpoint counters
+# while requests race the drain gate — serve joins the race gate for
+# that.
 race:
-	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat ./internal/monitor ./internal/pipeline ./internal/artifact ./internal/traceview
+	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat ./internal/monitor ./internal/pipeline ./internal/artifact ./internal/traceview ./internal/serve
 
 test:
 	$(GO) test ./...

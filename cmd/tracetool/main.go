@@ -1,17 +1,23 @@
 // Command tracetool is the offline observatory over auditherm's run
 // artifacts: it renders -trace JSONL span files as text reports or
-// Chrome trace_event JSON, diffs the stage timings of two runs (traces
-// or manifests), and gates live benchmark performance against the
-// repo's recorded BENCH_*.json baselines.
+// Chrome trace_event JSON, stitches traces from several processes into
+// one cross-process tree via their X-Auditherm-Trace links, diffs the
+// stage timings of two runs (traces or manifests), and gates live
+// benchmark performance against the repo's recorded BENCH_*.json
+// baselines.
 //
 // Usage:
 //
-//	tracetool report <trace.jsonl>
-//	tracetool chrome <trace.jsonl> [-o out.json]
+//	tracetool report <trace.jsonl>...
+//	tracetool chrome [-o out.json] <trace.jsonl>...
+//	tracetool merge [-chrome out.json] <trace.jsonl> <trace.jsonl>...
 //	tracetool diff <runA> <runB>          (trace or manifest each)
 //	tracetool benchdiff [-baseline BENCH_obs.json ...] [-tolerance 0.25]
 //	                    [-benchtime 1x] [-input canned.txt] [-host-check warn]
 //
+// report and chrome accept several trace files and merge them first;
+// merge always renders the cross-process report (per-process
+// provenance, link accounting, wire-vs-server critical path).
 // benchdiff exits 2 on a regression so CI can gate on it.
 package main
 
@@ -37,6 +43,8 @@ func main() {
 		err = report(os.Args[2:])
 	case "chrome":
 		err = chrome(os.Args[2:])
+	case "merge":
+		err = merge(os.Args[2:])
 	case "diff":
 		err = diff(os.Args[2:])
 	case "benchdiff":
@@ -57,10 +65,32 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tracetool report <trace.jsonl>          flame report, per-stage summary, critical path
-  tracetool chrome <trace.jsonl> [-o f]   convert to Chrome trace_event JSON (Perfetto)
-  tracetool diff <runA> <runB>            stage-level wall-time diff (trace or manifest)
-  tracetool benchdiff [flags]             gate live benchmarks against BENCH_*.json`)
+  tracetool report <trace.jsonl>...        flame report, per-stage summary, critical path
+  tracetool chrome [-o f] <trace.jsonl>... convert to Chrome trace_event JSON (Perfetto)
+  tracetool merge [flags] <trace.jsonl>... stitch multi-process traces by their links
+  tracetool diff <runA> <runB>             stage-level wall-time diff (trace or manifest)
+  tracetool benchdiff [flags]              gate live benchmarks against BENCH_*.json
+
+report and chrome accept several trace files and merge them first.`)
+}
+
+// loadTraces reads every path; with more than one it merges them into
+// a single cross-process view (single files pass through untouched, so
+// the classic one-trace commands behave exactly as before).
+func loadTraces(paths []string) (*traceview.Trace, traceview.MergeStats, error) {
+	var st traceview.MergeStats
+	traces := make([]*traceview.Trace, 0, len(paths))
+	for _, p := range paths {
+		tr, err := traceview.ReadTraceFile(p)
+		if err != nil {
+			return nil, st, err
+		}
+		traces = append(traces, tr)
+	}
+	if len(traces) == 1 {
+		return traces[0], st, nil
+	}
+	return traceview.Merge(traces)
 }
 
 func report(args []string) error {
@@ -68,12 +98,15 @@ func report(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("report: want one trace file, got %d args", fs.NArg())
+	if fs.NArg() < 1 {
+		return fmt.Errorf("report: want at least one trace file")
 	}
-	tr, err := traceview.ReadTraceFile(fs.Arg(0))
+	tr, st, err := loadTraces(fs.Args())
 	if err != nil {
 		return err
+	}
+	if fs.NArg() > 1 {
+		return traceview.WriteMergeReport(os.Stdout, tr, st)
 	}
 	return traceview.WriteReport(os.Stdout, tr)
 }
@@ -84,10 +117,10 @@ func chrome(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("chrome: want one trace file, got %d args", fs.NArg())
+	if fs.NArg() < 1 {
+		return fmt.Errorf("chrome: want at least one trace file")
 	}
-	tr, err := traceview.ReadTraceFile(fs.Arg(0))
+	tr, _, err := loadTraces(fs.Args())
 	if err != nil {
 		return err
 	}
@@ -101,6 +134,44 @@ func chrome(args []string) error {
 		w = f
 	}
 	return traceview.WriteChrome(w, tr)
+}
+
+// merge stitches two or more single-process traces into one
+// cross-process tree and renders the merge report; -chrome also emits
+// the merged Chrome trace_event JSON (one pid per source process).
+func merge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	chromeOut := fs.String("chrome", "", "also write merged Chrome trace_event JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("merge: want at least two trace files, got %d", fs.NArg())
+	}
+	traces := make([]*traceview.Trace, 0, fs.NArg())
+	for _, p := range fs.Args() {
+		tr, err := traceview.ReadTraceFile(p)
+		if err != nil {
+			return err
+		}
+		traces = append(traces, tr)
+	}
+	m, st, err := traceview.Merge(traces)
+	if err != nil {
+		return err
+	}
+	if err := traceview.WriteMergeReport(os.Stdout, m, st); err != nil {
+		return err
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return traceview.WriteChrome(f, m)
+	}
+	return nil
 }
 
 func diff(args []string) error {

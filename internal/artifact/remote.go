@@ -44,10 +44,11 @@ type Remote struct {
 }
 
 type fetchCall struct {
-	done chan struct{}
-	data []byte
-	info Info
-	err  error
+	done      chan struct{}
+	data      []byte
+	info      Info
+	serverRun string // X-Auditherm-Run from the serving daemon, if any
+	err       error
 }
 
 // NewRemote builds the client for the artifact endpoint at base
@@ -146,18 +147,32 @@ func (r *Remote) Open(ctx context.Context, key Digest) (io.ReadCloser, error) {
 // remote disk, in transit — fails the read instead of poisoning the
 // caller's cache. Concurrent fetches of one key share a single wire
 // request. The returned slice is shared across waiters; do not mutate.
+//
+// Every caller gets its own "artifact/remote.get" client span —
+// followers that join an in-flight request are marked coalesced=true
+// — so merged traces attribute remote wait time to the stage that
+// actually waited. The leader injects the X-Auditherm-Trace header,
+// linking the daemon's handling to its span, and records the
+// daemon's run ID (X-Auditherm-Run) as the server_run attribute.
 func (r *Remote) Fetch(ctx context.Context, key Digest) ([]byte, Info, error) {
 	if err := ValidateKey(key); err != nil {
 		return nil, Info{}, err
 	}
+	sp := obs.ClientSpan(ctx, "artifact/remote.get")
+	sp.SetAttr(obs.String("digest", key.Short()))
+	defer sp.End()
+
 	r.fmu.Lock()
 	if c, ok := r.flight[key]; ok {
 		r.fmu.Unlock()
 		remoteCoalescedTotal.Inc()
+		sp.SetAttr(obs.Bool("coalesced", true))
 		select {
 		case <-c.done:
+			finishFetchSpan(sp, c)
 			return c.data, c.info, c.err
 		case <-ctx.Done():
+			sp.SetError(ctx.Err())
 			return nil, Info{}, ctx.Err()
 		}
 	}
@@ -165,65 +180,67 @@ func (r *Remote) Fetch(ctx context.Context, key Digest) ([]byte, Info, error) {
 	r.flight[key] = c
 	r.fmu.Unlock()
 
-	c.data, c.info, c.err = r.fetch(ctx, key)
+	c.data, c.info, c.serverRun, c.err = r.fetch(ctx, sp, key)
 	r.fmu.Lock()
 	delete(r.flight, key)
 	r.fmu.Unlock()
 	close(c.done)
+	finishFetchSpan(sp, c)
 	return c.data, c.info, c.err
 }
 
-func (r *Remote) fetch(ctx context.Context, key Digest) ([]byte, Info, error) {
-	sctx, sp := obs.StartSpan(ctx, "artifact/remote.get")
-	sp.SetAttr(obs.String("key", key.Short()))
-	defer sp.End()
-	req, err := r.newRequest(sctx, http.MethodGet, key, nil)
-	if err != nil {
-		sp.SetError(err)
-		return nil, Info{}, err
+// finishFetchSpan stamps a completed (or joined) fetch onto the
+// caller's client span.
+func finishFetchSpan(sp *obs.Span, c *fetchCall) {
+	if c.serverRun != "" {
+		sp.SetAttr(obs.String("server_run", c.serverRun))
 	}
+	if c.err != nil {
+		sp.SetError(c.err)
+		return
+	}
+	sp.SetCount("bytes", int64(len(c.data)))
+}
+
+// fetch performs the wire GET under the leader's client span sp.
+func (r *Remote) fetch(ctx context.Context, sp *obs.Span, key Digest) (data []byte, info Info, serverRun string, err error) {
+	req, err := r.newRequest(ctx, http.MethodGet, key, nil)
+	if err != nil {
+		return nil, Info{}, "", err
+	}
+	obs.InjectTrace(req.Header, sp)
 	resp, err := r.client.Do(req)
 	if err != nil {
-		err = fmt.Errorf("artifact: remote get %s: %w", key.Short(), err)
-		sp.SetError(err)
-		return nil, Info{}, err
+		return nil, Info{}, "", fmt.Errorf("artifact: remote get %s: %w", key.Short(), err)
 	}
 	defer resp.Body.Close()
+	serverRun = resp.Header.Get(obs.RunHeader)
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
 		remoteMissesTotal.Inc()
 		io.Copy(io.Discard, resp.Body)
-		return nil, Info{}, &notFoundError{key: key, tier: "remote"}
+		return nil, Info{}, serverRun, &notFoundError{key: key, tier: "remote"}
 	default:
 		io.Copy(io.Discard, resp.Body)
-		err := fmt.Errorf("artifact: remote get %s: %s", key.Short(), resp.Status)
-		sp.SetError(err)
-		return nil, Info{}, err
+		return nil, Info{}, serverRun, fmt.Errorf("artifact: remote get %s: %s", key.Short(), resp.Status)
 	}
-	data, err := io.ReadAll(resp.Body)
+	data, err = io.ReadAll(resp.Body)
 	if err != nil {
-		err = fmt.Errorf("artifact: remote get %s: reading body: %w", key.Short(), err)
-		sp.SetError(err)
-		return nil, Info{}, err
+		return nil, Info{}, serverRun, fmt.Errorf("artifact: remote get %s: reading body: %w", key.Short(), err)
 	}
 	want := Digest(resp.Header.Get(ContentHeader))
 	if err := ValidateKey(want); err != nil {
-		err = fmt.Errorf("artifact: remote get %s: bad %s header %q", key.Short(), ContentHeader, want)
-		sp.SetError(err)
-		return nil, Info{}, err
+		return nil, Info{}, serverRun, fmt.Errorf("artifact: remote get %s: bad %s header %q", key.Short(), ContentHeader, want)
 	}
 	if got := HashBytes(data); got != want {
 		remoteVerifyFailuresTotal.Inc()
-		err := fmt.Errorf("artifact: remote get %s: content digest mismatch: got %s, server recorded %s (corrupt remote artifact or transport)",
+		return nil, Info{}, serverRun, fmt.Errorf("artifact: remote get %s: content digest mismatch: got %s, server recorded %s (corrupt remote artifact or transport)",
 			key.Short(), got.Short(), want.Short())
-		sp.SetError(err)
-		return nil, Info{}, err
 	}
 	remoteHitsTotal.Inc()
 	remoteFetchBytesTotal.Add(int64(len(data)))
-	sp.SetCount("bytes", int64(len(data)))
-	return data, Info{Key: key, Content: want, Bytes: int64(len(data))}, nil
+	return data, Info{Key: key, Content: want, Bytes: int64(len(data))}, serverRun, nil
 }
 
 // Put implements Backend: the encoded bytes upload with their content
@@ -244,23 +261,27 @@ func (r *Remote) PutBytes(ctx context.Context, key Digest, data []byte) (Info, e
 	if err := ValidateKey(key); err != nil {
 		return Info{}, err
 	}
-	sctx, sp := obs.StartSpan(ctx, "artifact/remote.put")
-	sp.SetAttr(obs.String("key", key.Short()))
+	sp := obs.ClientSpan(ctx, "artifact/remote.put")
+	sp.SetAttr(obs.String("digest", key.Short()))
 	sp.SetCount("bytes", int64(len(data)))
 	defer sp.End()
 	info := Info{Key: key, Content: HashBytes(data), Bytes: int64(len(data))}
-	req, err := r.newRequest(sctx, http.MethodPut, key, bytes.NewReader(data))
+	req, err := r.newRequest(ctx, http.MethodPut, key, bytes.NewReader(data))
 	if err != nil {
 		sp.SetError(err)
 		return Info{}, err
 	}
 	req.Header.Set(ContentHeader, string(info.Content))
 	req.ContentLength = int64(len(data))
+	obs.InjectTrace(req.Header, sp)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		err = fmt.Errorf("artifact: remote put %s: %w", key.Short(), err)
 		sp.SetError(err)
 		return Info{}, err
+	}
+	if run := resp.Header.Get(obs.RunHeader); run != "" {
+		sp.SetAttr(obs.String("server_run", run))
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()

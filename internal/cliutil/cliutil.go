@@ -171,6 +171,11 @@ func (c *Common) Start(tool string) (*Runtime, error) {
 // pipeline stages. Close ends the span if the caller has not.
 func (rt *Runtime) Trace(ctx context.Context, b *obs.ManifestBuilder) (context.Context, *obs.Span) {
 	sctx, root := obs.StartSpan(ctx, rt.Tool)
+	// Stamping the run ID gives every descendant span a wire identity:
+	// outbound requests (the remote artifact tier) inject
+	// X-Auditherm-Trace refs that resolve against this run's trace
+	// file under tracetool merge.
+	root.SetRunID(rt.RunID)
 	rt.root = root
 	if b != nil {
 		b.SetRootSpan(root)

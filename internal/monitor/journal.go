@@ -123,6 +123,7 @@ type JournalEntry struct {
 	Z        float64   `json:"z"`
 	Update   int64     `json:"update"`
 	SpanID   string    `json:"span_id,omitempty"`
+	TraceRef string    `json:"trace_ref,omitempty"`
 	RunID    string    `json:"run_id,omitempty"`
 	WallTS   time.Time `json:"wall_ts"`
 	Ordinal  int64     `json:"ordinal"`

@@ -189,6 +189,12 @@ type Alarm struct {
 	// the monitor was attached to one (SetSpan); it joins the JSONL
 	// alert journal to the run's trace file by span identity.
 	SpanID string `json:"span_id,omitempty"`
+	// TraceRef is the same span as a wire reference
+	// ("<run-id>/<span-id>", see obs.InjectTrace), present when the
+	// span's trace carries a run ID. Unlike SpanID it is globally
+	// unique, so an alarm can be joined to a span inside a merged
+	// cross-process trace (tracetool merge).
+	TraceRef string `json:"trace_ref,omitempty"`
 }
 
 // sensor is the per-sensor monitoring state. All mutation happens
@@ -456,6 +462,7 @@ func (m *Monitor) alarmStep(s *sensor, t time.Time, alarming bool, det string, r
 func (m *Monitor) emit(a Alarm) {
 	if sp := m.span.Load(); sp != nil {
 		a.SpanID = sp.ID()
+		a.TraceRef = sp.WireRef()
 		sp.EventAttr("monitor/"+a.Kind, obs.String("sensor", a.Sensor))
 	}
 	if m.journal != nil {

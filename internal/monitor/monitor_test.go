@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -315,5 +316,80 @@ func TestMetricName(t *testing.T) {
 		if got := metricName(in); got != want {
 			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestAlarmTraceRef: with a run-stamped span attached, every emitted
+// alarm carries both the process-local span ID and the globally-unique
+// wire reference, and the latter survives a journal round trip; a span
+// with no run ID yields no trace_ref (nothing misleading to join on).
+func TestAlarmTraceRef(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alerts.jsonl")
+	j, err := OpenJournal(path, "traceref-run-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	m := mustMonitor(t, []string{"s1"}, cfg)
+	m.SetJournal(j)
+	sp := obs.ClientSpan(context.Background(), "monitor-test")
+	sp.SetRunID("traceref-run-01")
+	defer sp.End()
+	m.SetSpan(sp)
+
+	var alarms []Alarm
+	m.SetOnAlarm(func(a Alarm) { alarms = append(alarms, a) })
+	feed(m, cfg.Warmup+4, func(int) float64 { return 0.0 })
+	for k := 0; k < 20; k++ {
+		m.UpdateAt(0, 0, 2.0, simStart)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("no alarms")
+	}
+	want := sp.WireRef()
+	if want == "" {
+		t.Fatal("stamped span has no wire ref")
+	}
+	for i, a := range alarms {
+		if a.TraceRef != want || a.SpanID != sp.ID() {
+			t.Errorf("alarm %d refs: trace %q span %q, want %q / %q", i, a.TraceRef, a.SpanID, want, sp.ID())
+		}
+		if ref, err := obs.ParseTraceRef(a.TraceRef); err != nil || ref.RunID != "traceref-run-01" {
+			t.Errorf("alarm %d trace_ref %q does not parse: %v", i, a.TraceRef, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no journal entries")
+	}
+	for i, e := range entries {
+		if e.TraceRef != want {
+			t.Errorf("journal entry %d trace_ref %q, want %q", i, e.TraceRef, want)
+		}
+	}
+
+	// An unstamped span: span_id still joins locally, trace_ref absent.
+	m2 := mustMonitor(t, []string{"s1"}, cfg)
+	un := obs.ClientSpan(context.Background(), "monitor-test-unstamped")
+	defer un.End()
+	m2.SetSpan(un)
+	var a2 []Alarm
+	m2.SetOnAlarm(func(a Alarm) { a2 = append(a2, a) })
+	feed(m2, cfg.Warmup+4, func(int) float64 { return 0.0 })
+	for k := 0; k < 20; k++ {
+		m2.UpdateAt(0, 0, 2.0, simStart)
+	}
+	if len(a2) == 0 {
+		t.Fatal("no alarms from unstamped monitor")
+	}
+	if a2[0].TraceRef != "" || a2[0].SpanID == "" {
+		t.Errorf("unstamped alarm refs: trace %q span %q", a2[0].TraceRef, a2[0].SpanID)
 	}
 }

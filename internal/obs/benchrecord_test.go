@@ -22,7 +22,10 @@ import (
 //   - encoding a completed span to the JSONL trace is zero-alloc,
 //   - recording a histogram exemplar (ObserveSpan) is zero-alloc,
 //   - installing the trace exporter adds zero allocations to the
-//     span start/end lifecycle (the export cost is pure CPU).
+//     span start/end lifecycle (the export cost is pure CPU),
+//   - injecting the X-Auditherm-Trace header is zero-alloc in steady
+//     state (memoized wire ref, reused header slot),
+//   - extracting/parsing the header is zero-alloc.
 //
 // Benchmark names use the "obs/Benchmark<Name>" form so `tracetool
 // benchdiff` can map every row back to a live `go test -bench` run.
@@ -48,6 +51,8 @@ type traceBenchFile struct {
 	TraceEncodeZeroAllocs bool `json:"trace_encode_zero_allocs"`
 	ExemplarZeroAllocs    bool `json:"exemplar_zero_allocs"`
 	ExportAddsZeroAllocs  bool `json:"export_adds_zero_allocs"`
+	InjectZeroAllocs      bool `json:"inject_zero_allocs"`
+	ExtractZeroAllocs     bool `json:"extract_zero_allocs"`
 
 	Benchmarks map[string]traceBenchRow `json:"benchmarks"`
 }
@@ -73,6 +78,8 @@ func TestRecordTraceBench(t *testing.T) {
 	exemplar := measure("BenchmarkHistogramObserveSpan", "histogram observation + bucket exemplar stamp", BenchmarkHistogramObserveSpan)
 	startEnd := measure("BenchmarkSpanStartEnd", "span lifecycle without an exporter (struct + lazy attr storage)", BenchmarkSpanStartEnd)
 	export := measure("BenchmarkSpanStartEndExport", "span lifecycle with the JSONL exporter installed", BenchmarkSpanStartEndExport)
+	inject := measure("BenchmarkTraceInject", "stamp the X-Auditherm-Trace header from a memoized wire ref (steady state)", BenchmarkTraceInject)
+	extract := measure("BenchmarkTraceExtract", "parse the X-Auditherm-Trace header into a TraceRef", BenchmarkTraceExtract)
 
 	// Hard gates: refuse to write the baseline from a build that lost
 	// the zero-alloc guarantees — a recorded regression would make
@@ -80,6 +87,8 @@ func TestRecordTraceBench(t *testing.T) {
 	encodeZero := encode.AllocsPerOp() == 0
 	exemplarZero := exemplar.AllocsPerOp() == 0
 	exportDeltaZero := export.AllocsPerOp() == startEnd.AllocsPerOp()
+	injectZero := inject.AllocsPerOp() == 0
+	extractZero := extract.AllocsPerOp() == 0
 	if !encodeZero {
 		t.Errorf("trace encode allocates %d allocs/op, want 0", encode.AllocsPerOp())
 	}
@@ -89,6 +98,12 @@ func TestRecordTraceBench(t *testing.T) {
 	if !exportDeltaZero {
 		t.Errorf("exporter adds %d allocs/op to span end, want 0",
 			export.AllocsPerOp()-startEnd.AllocsPerOp())
+	}
+	if !injectZero {
+		t.Errorf("InjectTrace allocates %d allocs/op, want 0", inject.AllocsPerOp())
+	}
+	if !extractZero {
+		t.Errorf("ExtractTrace allocates %d allocs/op, want 0", extract.AllocsPerOp())
 	}
 	if t.Failed() {
 		t.Fatal("refusing to write BENCH_trace.json: hot-path alloc gates failed")
@@ -106,6 +121,8 @@ func TestRecordTraceBench(t *testing.T) {
 		TraceEncodeZeroAllocs: encodeZero,
 		ExemplarZeroAllocs:    exemplarZero,
 		ExportAddsZeroAllocs:  exportDeltaZero,
+		InjectZeroAllocs:      injectZero,
+		ExtractZeroAllocs:     extractZero,
 		Benchmarks:            rows,
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")

@@ -58,6 +58,11 @@ type RunManifest struct {
 	// RunID correlates this manifest with the run's slog records and
 	// alert-journal entries (they all carry the same run_id).
 	RunID string `json:"run_id,omitempty"`
+	// CallerRun/CallerSpan name the remote span whose request caused
+	// this run (from the X-Auditherm-Trace header), so a daemon's
+	// per-request manifest resolves to the calling process's trace.
+	CallerRun  string `json:"caller_run,omitempty"`
+	CallerSpan uint64 `json:"caller_span,omitempty"`
 	// AlertLog is the path of the append-only JSONL alert journal
 	// written during the run, if one was requested.
 	AlertLog string `json:"alert_log,omitempty"`
@@ -117,6 +122,16 @@ func (b *ManifestBuilder) SetSeed(seed int64) { b.m.Seed = seed }
 // SetRunID records the run ID correlating the manifest with log
 // records and alert-journal entries.
 func (b *ManifestBuilder) SetRunID(id string) { b.m.RunID = id }
+
+// SetCaller records the remote caller's trace reference (a zero ref
+// is ignored, so untraced callers leave the fields absent).
+func (b *ManifestBuilder) SetCaller(ref TraceRef) {
+	if ref.IsZero() {
+		return
+	}
+	b.m.CallerRun = ref.RunID
+	b.m.CallerSpan = ref.Span
+}
 
 // SetAlertLog records the path of the run's alert journal.
 func (b *ManifestBuilder) SetAlertLog(path string) { b.m.AlertLog = path }

@@ -145,9 +145,21 @@ type Span struct {
 	events       []spanEvent
 	errMsg       string
 	failed       bool
+	linkRun      string // cross-process parent run (SetLink)
+	linkSpan     uint64 // cross-process parent span id (SetLink)
 	dropAttrs    int64
 	dropEvents   int64
 	dropChildren int64
+
+	// Trace-propagation state, atomic so WireRef/End can walk the
+	// (immutable-after-adopt) parent chain without taking ancestor
+	// locks. runID is stamped on roots (SetRunID) and inherited;
+	// wireRef memoizes the encoded "<run>/<id>" for 0-alloc
+	// injection; sink routes this subtree's exported spans to a
+	// specific TraceFile instead of the process-wide exporter.
+	runID   atomic.Pointer[string]
+	wireRef atomic.Pointer[string]
+	sink    atomic.Pointer[TraceFile]
 }
 
 type spanKey struct{}
@@ -215,9 +227,10 @@ func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
 	return context.WithValue(ctx, spanKey{}, sp)
 }
 
-// End marks the span finished and, when a trace exporter is
-// installed, streams the completed span to the trace file. Safe to
-// call more than once; the first call wins (and exports).
+// End marks the span finished and streams the completed span to its
+// trace sink: the nearest ancestor sink installed with SetSink, else
+// the process-wide exporter. Safe to call more than once; the first
+// call wins (and exports).
 func (s *Span) End() {
 	s.mu.Lock()
 	if !s.end.IsZero() {
@@ -225,10 +238,27 @@ func (s *Span) End() {
 		return
 	}
 	s.end = time.Now()
-	if t := traceExporter.Load(); t != nil {
+	t := s.findSink()
+	if t == nil {
+		t = traceExporter.Load()
+	}
+	if t != nil {
 		t.writeSpanLocked(s)
 	}
 	s.mu.Unlock()
+}
+
+// findSink returns the nearest per-subtree trace sink on s or an
+// ancestor, or nil. Parent pointers are immutable once a span is
+// published and sinks are atomic, so the walk needs no locks (End
+// already holds s.mu).
+func (s *Span) findSink() *TraceFile {
+	for sp := s; sp != nil; sp = sp.parent {
+		if t := sp.sink.Load(); t != nil {
+			return t
+		}
+	}
+	return nil
 }
 
 // Duration returns the span's wall time; for an unfinished span, the

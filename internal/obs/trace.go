@@ -50,6 +50,7 @@ type TraceFile struct {
 	buf   []byte    // encode scratch, reused across spans
 	keys  []string  // count-key sort scratch, reused across spans
 	path  string
+	runID string
 	spans int64
 	err   error // first write error; later spans are dropped
 }
@@ -96,8 +97,9 @@ func NewTraceWriter(w io.Writer, runID, tool string) *TraceFile {
 func newTraceWriter(w io.Writer, runID, tool string) *TraceFile {
 	host, _ := os.Hostname()
 	t := &TraceFile{
-		w:   bufio.NewWriterSize(w, 64<<10),
-		buf: make([]byte, 0, 4<<10),
+		w:     bufio.NewWriterSize(w, 64<<10),
+		buf:   make([]byte, 0, 4<<10),
+		runID: runID,
 	}
 	meta := TraceMeta{
 		Type:       "meta",
@@ -119,6 +121,16 @@ func newTraceWriter(w io.Writer, runID, tool string) *TraceFile {
 
 // Path returns the trace file path ("" for caller-owned writers).
 func (t *TraceFile) Path() string { return t.path }
+
+// RunID returns the run ID written to the trace's meta line.
+func (t *TraceFile) RunID() string { return t.runID }
+
+// SetSink routes this span's subtree to t instead of the process-wide
+// exporter: every descendant's End walks its ancestors and uses the
+// nearest sink found. The serve daemon's e2e tests use it to write a
+// client trace and a daemon trace from one process; nil restores the
+// default.
+func (s *Span) SetSink(t *TraceFile) { s.sink.Store(t) }
 
 // Spans returns the number of span lines written so far.
 func (t *TraceFile) Spans() int64 {
@@ -185,6 +197,12 @@ func (t *TraceFile) writeSpanLocked(s *Span) {
 	if s.failed {
 		b = append(b, `,"error":`...)
 		b = appendJSONString(b, s.errMsg)
+	}
+	if s.linkRun != "" {
+		b = append(b, `,"parent_run":`...)
+		b = appendJSONString(b, s.linkRun)
+		b = append(b, `,"parent_span":`...)
+		b = strconv.AppendUint(b, s.linkSpan, 10)
 	}
 	if len(s.attrs) > 0 {
 		b = append(b, `,"attrs":{`...)

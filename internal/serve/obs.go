@@ -22,4 +22,8 @@ var (
 	requestSeconds = obs.NewHistogram("auditherm_serve_request_seconds",
 		"end-to-end API request latency",
 		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+	traceLinksTotal = obs.NewCounter("auditherm_trace_links_total",
+		"Requests whose X-Auditherm-Trace header linked the request span to the caller's trace")
+	traceLinkErrorsTotal = obs.NewCounter("auditherm_trace_link_errors_total",
+		"Requests carrying a malformed X-Auditherm-Trace header (served unlinked)")
 )

@@ -109,6 +109,11 @@ type Server struct {
 	reportIDs []string
 	reportSet map[string]bool
 
+	// epTrace tallies trace-propagation outcomes per endpoint
+	// (populated once in New; the maps themselves are never mutated
+	// after, so reads need no lock).
+	epTrace map[string]*endpointTrace
+
 	// computeHook, when set, runs at the start of every cache-miss
 	// computation; test and benchmark harnesses use it to hold
 	// requests in flight deterministically while exercising the drain
@@ -162,6 +167,10 @@ func New(cfg Config, log *slog.Logger, root *obs.Span) (*Server, error) {
 		cache:   newResponseCache(cfg.ResponseCache),
 		flight:  newFlightGroup(),
 		backend: backend,
+		epTrace: make(map[string]*endpointTrace),
+	}
+	for _, ep := range []string{"sysid", "cluster", "select", "control", "report", "artifacts"} {
+		s.epTrace[ep] = &endpointTrace{}
 	}
 	if backend != nil {
 		s.artifacts = artifact.NewHandler(backend, cfg.StoreToken)
@@ -195,7 +204,9 @@ func (s *Server) Mount(m *obs.MetricsServer) {
 }
 
 // muxer is the subset of http.ServeMux the server mounts on.
-type muxer interface{ Handle(pattern string, h http.Handler) }
+type muxer interface {
+	Handle(pattern string, h http.Handler)
+}
 
 // MountMux attaches the /v1/* API routes to any mux.
 func (s *Server) MountMux(m muxer) {
@@ -208,7 +219,11 @@ func (s *Server) MountMux(m muxer) {
 	m.Handle("/v1/report", s.handle("report", s.parseReport))
 	if s.artifacts != nil {
 		// The artifact endpoint rides the daemon's drain gate so a
-		// shutdown never truncates a peer's fetch mid-body.
+		// shutdown never truncates a peer's fetch mid-body. Like the
+		// compute endpoints it answers with a per-request run ID and
+		// links its span to the caller's trace context, so a remote
+		// tier's fetch and the daemon's serving of it stitch into one
+		// tree under tracetool merge.
 		m.Handle(s.artifacts.PathPrefix(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			s.wg.Add(1)
 			defer s.wg.Done()
@@ -223,7 +238,21 @@ func (s *Server) MountMux(m muxer) {
 				s.inflight.Add(-1)
 				inflightGauge.Add(-1)
 			}()
-			s.artifacts.ServeHTTP(w, r)
+
+			runID := obs.NewRunID()
+			w.Header().Set(obs.RunHeader, runID)
+			ctx := r.Context()
+			if s.root != nil {
+				ctx = obs.ContextWithSpan(ctx, s.root)
+			}
+			sctx, sp := obs.StartSpan(ctx, "serve/artifacts")
+			sp.SetAttr(obs.String("run_id", runID))
+			sp.SetAttr(obs.String("endpoint", "artifacts"))
+			sp.SetAttr(obs.String("method", r.Method))
+			defer sp.End()
+			defer s.recordSpanDrops("artifacts", sp)
+			s.extractLink("artifacts", r, sp)
+			s.artifacts.ServeHTTP(w, r.WithContext(sctx))
 		}))
 	}
 }
@@ -285,6 +314,56 @@ func (s *Server) Wait(timeout time.Duration) error {
 	}
 }
 
+// endpointTrace tallies one endpoint's trace-propagation outcomes for
+// /v1/status: caller links established, malformed headers rejected,
+// and span payload drops (attrs/events/children truncated at the obs
+// bounds) observed on completed request spans.
+type endpointTrace struct {
+	links      atomic.Int64
+	linkErrors atomic.Int64
+	spanDrops  atomic.Int64
+}
+
+// extractLink reads the caller's trace context from the request
+// headers and links sp to it. A missing header is an untraced caller
+// (normal); a malformed one is counted and logged, and the request
+// proceeds with an unlinked span — propagation must never fail a
+// request. Returns the caller's reference (zero when unlinked) for
+// the per-request manifest.
+func (s *Server) extractLink(name string, r *http.Request, sp *obs.Span) obs.TraceRef {
+	ref, present, err := obs.ExtractTrace(r.Header)
+	if !present {
+		return obs.TraceRef{}
+	}
+	st := s.epTrace[name]
+	if err != nil {
+		traceLinkErrorsTotal.Inc()
+		if st != nil {
+			st.linkErrors.Add(1)
+		}
+		s.log.Warn("malformed trace header; serving unlinked",
+			slog.String("endpoint", name), slog.String("error", err.Error()))
+		return obs.TraceRef{}
+	}
+	sp.SetLink(ref)
+	traceLinksTotal.Inc()
+	if st != nil {
+		st.links.Add(1)
+	}
+	return ref
+}
+
+// recordSpanDrops folds a finished request span's overflow tallies
+// into the endpoint's status counters.
+func (s *Server) recordSpanDrops(name string, sp *obs.Span) {
+	if st := s.epTrace[name]; st != nil {
+		a, e, c := sp.Dropped()
+		if n := a + e + c; n > 0 {
+			st.spanDrops.Add(n)
+		}
+	}
+}
+
 // computeFn resolves one request's pipeline composition to the value
 // that becomes the (deterministic) response body.
 type computeFn func(ctx context.Context, eng *pipeline.Engine, b *obs.ManifestBuilder) (any, error)
@@ -315,7 +394,7 @@ func (s *Server) handle(name string, parse parseFn) http.Handler {
 		requestsTotal.Inc()
 
 		runID := obs.NewRunID()
-		w.Header().Set("X-Auditherm-Run", runID)
+		w.Header().Set(obs.RunHeader, runID)
 
 		params, compute, err := parse(r.URL.Query())
 		if err != nil {
@@ -333,12 +412,14 @@ func (s *Server) handle(name string, parse parseFn) http.Handler {
 		sp.SetAttr(obs.String("run_id", runID))
 		sp.SetAttr(obs.String("endpoint", name))
 		defer sp.End()
+		defer s.recordSpanDrops(name, sp)
+		caller := s.extractLink(name, r, sp)
 		t0 := time.Now()
 
 		if body, ok := s.cache.get(key); ok {
 			responseHitsTotal.Inc()
 			sp.SetAttr(obs.Bool("response_cache_hit", true))
-			s.writeManifest(runID, name, params, nil, "served from the in-memory response cache")
+			s.writeManifest(runID, name, params, caller, "served from the in-memory response cache")
 			s.respond(w, http.StatusOK, body, "hit")
 			requestSeconds.ObserveSpan(time.Since(t0).Seconds(), sp)
 			return
@@ -362,6 +443,7 @@ func (s *Server) handle(name string, parse parseFn) http.Handler {
 			}
 			b := obs.NewManifest("serve")
 			b.SetRunID(runID)
+			b.SetCaller(caller)
 			b.SetConfig(withEndpoint(name, params))
 			eng, err := pipeline.New(pipeline.Options{
 				Backend:  s.backend,
@@ -403,7 +485,7 @@ func (s *Server) handle(name string, parse parseFn) http.Handler {
 			// computation — warm from this request's point of view.
 			coalescedTotal.Inc()
 			state = "hit"
-			s.writeManifest(runID, name, params, nil, "coalesced into a concurrent identical request")
+			s.writeManifest(runID, name, params, caller, "coalesced into a concurrent identical request")
 		}
 		sp.SetAttr(obs.Bool("coalesced", !leader))
 		s.respond(w, http.StatusOK, body, state)
@@ -440,12 +522,13 @@ func withEndpoint(name string, params map[string]string) map[string]string {
 
 // writeManifest emits a fresh per-request manifest for requests that
 // never built an engine (response-cache hits, coalesced followers).
-func (s *Server) writeManifest(runID, name string, params map[string]string, _ *pipeline.Engine, note string) {
+func (s *Server) writeManifest(runID, name string, params map[string]string, caller obs.TraceRef, note string) {
 	if s.cfg.RunDir == "" {
 		return
 	}
 	b := obs.NewManifest("serve")
 	b.SetRunID(runID)
+	b.SetCaller(caller)
 	b.SetConfig(withEndpoint(name, params))
 	b.AddNote(note)
 	s.flushRequestManifest(runID, b)

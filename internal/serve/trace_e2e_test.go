@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"auditherm/internal/artifact"
+	"auditherm/internal/obs"
+	"auditherm/internal/traceview"
+)
+
+// TestTraceMergeEndToEnd drives the full distributed-tracing loop in
+// one process: a traced client PUTs and GETs an artifact through
+// artifact.Remote against the daemon's /v1/artifacts endpoint, the
+// client and the daemon each write their own JSONL trace (routed by
+// per-subtree sinks), and traceview.Merge stitches the two files into
+// one tree — the daemon's request spans re-parented under the client's
+// wire spans, with the server time attributed on the critical path.
+// Requests with a malformed or missing header fall back to unlinked
+// spans and never fail.
+func TestTraceMergeEndToEnd(t *testing.T) {
+	const clientRun = "e2eclientrun0001"
+	const daemonRun = "e2edaemonrun0001"
+	ctx := context.Background()
+
+	// Client trace: a root span whose subtree sinks into clientBuf.
+	var clientBuf bytes.Buffer
+	clientTF := obs.NewTraceWriter(&clientBuf, clientRun, "repro")
+	clientRoot := obs.ClientSpan(ctx, "e2e-client")
+	clientRoot.SetRunID(clientRun)
+	clientRoot.SetSink(clientTF)
+	cctx := obs.ContextWithSpan(ctx, clientRoot)
+
+	// Daemon trace: the server's root sinks into daemonBuf; every
+	// request span hangs under it and follows the sink. The daemon
+	// root is created after and ended before the client root, so the
+	// client root is deterministically the slowest merged root.
+	var daemonBuf bytes.Buffer
+	daemonTF := obs.NewTraceWriter(&daemonBuf, daemonRun, "serve")
+	daemonRoot := obs.ClientSpan(ctx, "auditherm-serve")
+	daemonRoot.SetRunID(daemonRun)
+	daemonRoot.SetSink(daemonTF)
+
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv, err := New(Config{Dataset: testDataset(), CacheDir: t.TempDir()}, log, daemonRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ms, err := obs.ServeMetrics("127.0.0.1:0", obs.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	srv.Mount(ms)
+
+	remote, err := artifact.NewRemote(ms.URL(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	payload := []byte("cross-process trace payload")
+	key := artifact.HashBytes(payload)
+	if _, err := remote.PutBytes(cctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, err := remote.Fetch(cctx, key); err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("fetch: %q, %v", data, err)
+	}
+
+	// Malformed and missing headers: the daemon serves both, unlinked.
+	for _, hdr := range []string{"not-a-ref", ""} {
+		req, err := http.NewRequest(http.MethodGet, ms.URL()+"/v1/artifacts/"+string(key), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != "" {
+			req.Header.Set(obs.TraceHeader, hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("header %q: status %d", hdr, resp.StatusCode)
+		}
+	}
+
+	daemonRoot.End()
+	clientRoot.End()
+	if err := daemonTF.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientTF.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	clientPath := filepath.Join(dir, "client.trace.jsonl")
+	daemonPath := filepath.Join(dir, "daemon.trace.jsonl")
+	if err := os.WriteFile(clientPath, clientBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(daemonPath, daemonBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := traceview.ReadTraceFile(clientPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := traceview.ReadTraceFile(daemonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon file alone: four request spans, exactly two linked
+	// (the Remote PUT and GET), two clean unlinked fallbacks.
+	var linked, unlinked int
+	for _, sp := range daemon.Spans {
+		if sp.Name != "serve/artifacts" {
+			continue
+		}
+		if sp.ParentRun != "" {
+			if sp.ParentRun != clientRun {
+				t.Errorf("link names run %q, want %q", sp.ParentRun, clientRun)
+			}
+			linked++
+		} else {
+			unlinked++
+		}
+	}
+	if linked != 2 || unlinked != 2 {
+		t.Fatalf("daemon request spans: %d linked, %d unlinked, want 2/2", linked, unlinked)
+	}
+
+	merged, st, err := traceview.Merge([]*traceview.Trace{client, daemon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Resolved != 2 || st.Unresolved != 0 {
+		t.Fatalf("merge stats: %+v", st)
+	}
+
+	// The stitched tree runs client root -> remote.get -> the daemon's
+	// GET request span, across the process boundary.
+	var get *traceview.Span
+	for _, sp := range merged.Spans {
+		if sp.Name == "artifact/remote.get" {
+			get = sp
+		}
+	}
+	if get == nil {
+		t.Fatal("merged view has no artifact/remote.get span")
+	}
+	if len(get.Children) != 1 || get.Children[0].Name != "serve/artifacts" {
+		t.Fatalf("remote.get children: %+v", get.Children)
+	}
+	if srvSpan := get.Children[0]; srvSpan.Proc == get.Proc || srvSpan.Attrs["method"] != "GET" {
+		t.Errorf("stitched span: proc %d vs %d, attrs %v", srvSpan.Proc, get.Proc, srvSpan.Attrs)
+	}
+
+	// The rendered report includes the server span on a cross-process
+	// critical path with the hop attributed.
+	var sb strings.Builder
+	if err := traceview.WriteMergeReport(&sb, merged, st); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	cp := out[strings.Index(out, "# cross-process critical path"):]
+	for _, want := range []string{
+		"e2e-client",
+		"crosses into p1 (run " + daemonRun + ")",
+		"wire+queue",
+		"[p1] serve/artifacts",
+	} {
+		if !strings.Contains(cp, want) {
+			t.Errorf("critical path missing %q:\n%s", want, out)
+		}
+	}
+}

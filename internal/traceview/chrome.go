@@ -35,11 +35,15 @@ type chromeFile struct {
 	Metadata        map[string]any `json:"metadata,omitempty"`
 }
 
-// WriteChrome converts the trace to Chrome trace_event JSON.
+// WriteChrome converts the trace to Chrome trace_event JSON. A merged
+// view (Trace.Procs populated) maps each source process to its own
+// Chrome pid, named by a process_name metadata event, so one timeline
+// shows a CLI's pipeline stage, its remote fetch and the daemon's
+// handling as separate, linked process tracks.
 func WriteChrome(w io.Writer, t *Trace) error {
 	lanes := assignLanes(t)
 	out := chromeFile{
-		TraceEvents:     make([]chromeEvent, 0, len(t.Spans)),
+		TraceEvents:     make([]chromeEvent, 0, len(t.Spans)+len(t.Procs)),
 		DisplayTimeUnit: "ms",
 	}
 	if t.Meta.RunID != "" {
@@ -49,6 +53,14 @@ func WriteChrome(w io.Writer, t *Trace) error {
 			"go_version": t.Meta.GoVersion,
 			"hostname":   t.Meta.Hostname,
 		}
+	}
+	for i, m := range t.Procs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   i + 1,
+			Args:  map[string]any{"name": fmt.Sprintf("%s (run %s)", m.Tool, m.RunID)},
+		})
 	}
 	for _, s := range t.Spans {
 		lane := lanes[s.ID]
@@ -62,12 +74,16 @@ func WriteChrome(w io.Writer, t *Trace) error {
 		if s.Error != "" {
 			args["error"] = s.Error
 		}
+		if s.ParentRun != "" {
+			args["parent_run"] = s.ParentRun
+			args["parent_span"] = s.ParentSpan
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name:  s.Name,
 			Phase: "X",
 			TS:    float64(s.StartNS) / 1e3,
 			Dur:   float64(s.EndNS-s.StartNS) / 1e3,
-			PID:   1,
+			PID:   s.Proc + 1,
 			TID:   lane,
 			Args:  args,
 		})
@@ -76,7 +92,7 @@ func WriteChrome(w io.Writer, t *Trace) error {
 				Name:  e.Name,
 				Phase: "i",
 				TS:    float64(e.TimeNS) / 1e3,
-				PID:   1,
+				PID:   s.Proc + 1,
 				TID:   lane,
 				Scope: "t",
 				Args:  e.Attrs,

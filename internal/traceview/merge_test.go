@@ -1,0 +1,233 @@
+package traceview
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// loadMergeFixtures reads the client + daemon trace pair under
+// testdata: two processes with deliberately colliding span IDs, the
+// daemon's request span linked to the client's remote.get span.
+func loadMergeFixtures(t *testing.T) (client, daemon *Trace) {
+	t.Helper()
+	var err error
+	if client, err = ReadTraceFile("testdata/merge_client.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	if daemon, err = ReadTraceFile("testdata/merge_daemon.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	return client, daemon
+}
+
+func TestMergeStitchesAcrossProcesses(t *testing.T) {
+	client, daemon := loadMergeFixtures(t)
+	m, st, err := Merge([]*Trace{client, daemon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Resolved != 1 || st.Unresolved != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(m.Procs) != 2 || m.Procs[0].RunID != "clientrun0000001" || m.Procs[1].RunID != "daemonrun0000001" {
+		t.Fatalf("procs: %+v", m.Procs)
+	}
+	if len(m.Spans) != 4 {
+		t.Fatalf("merged spans: %d", len(m.Spans))
+	}
+	// Inputs must not be mutated: the daemon's request span still hangs
+	// under its process-local root.
+	if daemon.Find(2).Parent != 1 {
+		t.Error("merge mutated its input trace")
+	}
+
+	// The daemon's request span is re-parented under the client's
+	// remote.get span — the causal parent wins over the process-local
+	// one — so the client tree now runs repro -> remote.get ->
+	// serve/artifacts, and the daemon root is left childless.
+	var get, srvSpan, clientRoot, daemonRoot *Span
+	for _, sp := range m.Spans {
+		switch sp.Name {
+		case "artifact/remote.get":
+			get = sp
+		case "serve/artifacts":
+			srvSpan = sp
+		case "repro":
+			clientRoot = sp
+		case "auditherm-serve":
+			daemonRoot = sp
+		}
+	}
+	if get == nil || srvSpan == nil || clientRoot == nil || daemonRoot == nil {
+		t.Fatalf("missing spans in merged view: %+v", m.Spans)
+	}
+	if srvSpan.Parent != get.ID || len(get.Children) != 1 || get.Children[0] != srvSpan {
+		t.Errorf("serve span not stitched under remote.get: parent=%d want %d", srvSpan.Parent, get.ID)
+	}
+	if srvSpan.Proc != 1 || get.Proc != 0 {
+		t.Errorf("proc indices: get=%d serve=%d", get.Proc, srvSpan.Proc)
+	}
+	if len(daemonRoot.Children) != 0 {
+		t.Errorf("daemon root kept the stitched-away span: %d children", len(daemonRoot.Children))
+	}
+	if len(m.Roots) != 2 {
+		t.Fatalf("merged roots: %d", len(m.Roots))
+	}
+
+	// Synthesized meta names every constituent run.
+	if m.Meta.Type != "merged" || !strings.Contains(m.Meta.RunID, "clientrun0000001") ||
+		!strings.Contains(m.Meta.RunID, "daemonrun0000001") {
+		t.Errorf("merged meta: %+v", m.Meta)
+	}
+}
+
+func TestMergeDeterministicAcrossArgOrder(t *testing.T) {
+	client, daemon := loadMergeFixtures(t)
+	render := func(traces []*Trace) string {
+		m, st, err := Merge(traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := WriteMergeReport(&sb, m, st); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	ab := render([]*Trace{client, daemon})
+	ba := render([]*Trace{daemon, client})
+	if ab != ba {
+		t.Errorf("merge output depends on argument order:\n--- a,b ---\n%s\n--- b,a ---\n%s", ab, ba)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	client, daemon := loadMergeFixtures(t)
+	if _, _, err := Merge(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, _, err := Merge([]*Trace{client, client}); err == nil ||
+		!strings.Contains(err.Error(), "appears in two traces") {
+		t.Errorf("duplicate run id: %v", err)
+	}
+	anon, err := ReadTrace(strings.NewReader(
+		`{"type":"span","id":1,"parent":0,"name":"x","start_ns":1,"end_ns":2}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Merge([]*Trace{daemon, anon}); err == nil ||
+		!strings.Contains(err.Error(), "no run id") {
+		t.Errorf("missing meta run id: %v", err)
+	}
+}
+
+func TestMergeUnresolvedLink(t *testing.T) {
+	// The daemon trace alone: its link names a run that was not loaded,
+	// so the span stays under its process-local parent and the link is
+	// counted as unresolved.
+	_, daemon := loadMergeFixtures(t)
+	m, st, err := Merge([]*Trace{daemon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Resolved != 0 || st.Unresolved != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(m.Roots) != 1 || len(m.Roots[0].Children) != 1 {
+		t.Errorf("unresolved span should keep its local parent: roots %+v", m.Roots)
+	}
+}
+
+func TestWriteMergeReport(t *testing.T) {
+	client, daemon := loadMergeFixtures(t)
+	m, st, err := Merge([]*Trace{client, daemon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteMergeReport(&sb, m, st); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"merged trace: 2 processes, 4 spans",
+		"p0: run clientrun0000001 tool repro",
+		"p1: run daemonrun0000001 tool serve",
+		"cross-process links: 1 resolved, 0 unresolved",
+		"# span tree",
+		"[p0] repro",
+		"[p0] artifact/remote.get",
+		"[p1] serve/artifacts",
+		"<=clientrun0000001/2",
+		"# by name",
+		"# cross-process critical path",
+		"crosses into p1 (run daemonrun0000001)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merge report missing %q:\n%s", want, out)
+		}
+	}
+	// The critical path starts at the slowest root (the client's, not
+	// the earlier-starting daemon root) and attributes the hop: the
+	// 6µs remote.get wraps a 4µs server span, so wire+queue is 2µs —
+	// a third of the hop.
+	cp := out[strings.Index(out, "# cross-process critical path"):]
+	for _, want := range []string{"[p0] repro", "[p0] artifact/remote.get", "server 4µs, wire+queue 2µs (33.3% of hop)", "[p1] serve/artifacts"} {
+		idx := strings.Index(cp, want)
+		if idx < 0 {
+			t.Fatalf("critical path missing %q:\n%s", want, cp)
+		}
+		cp = cp[idx:]
+	}
+}
+
+func TestMergedChromeSplitsProcesses(t *testing.T) {
+	client, daemon := loadMergeFixtures(t)
+	m, _, err := Merge([]*Trace{client, daemon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteChrome(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome output is not JSON: %v", err)
+	}
+	procNames := map[int]string{}
+	pidOf := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			if e.Name == "process_name" {
+				procNames[e.PID] = e.Args["name"].(string)
+			}
+		case "X":
+			pidOf[e.Name] = e.PID
+		}
+	}
+	if len(procNames) != 2 || !strings.Contains(procNames[1], "clientrun0000001") ||
+		!strings.Contains(procNames[2], "daemonrun0000001") {
+		t.Errorf("process_name metadata: %v", procNames)
+	}
+	if pidOf["repro"] != 1 || pidOf["artifact/remote.get"] != 1 || pidOf["serve/artifacts"] != 2 {
+		t.Errorf("span pids: %v", pidOf)
+	}
+	// The linked span advertises its cross-process parent.
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" && e.Name == "serve/artifacts" {
+			if e.Args["parent_run"] != "clientrun0000001" {
+				t.Errorf("serve/artifacts args: %v", e.Args)
+			}
+		}
+	}
+}

@@ -52,11 +52,21 @@ type Span struct {
 	Counts  map[string]int64 `json:"counts,omitempty"`
 	Events  []Event          `json:"events,omitempty"`
 
+	// ParentRun/ParentSpan are the span's cross-process link: the
+	// remote caller's span as carried by the X-Auditherm-Trace header
+	// (see obs.InjectTrace). Merge resolves them against the other
+	// loaded traces' run IDs and re-parents the span under its caller.
+	ParentRun  string `json:"parent_run,omitempty"`
+	ParentSpan uint64 `json:"parent_span,omitempty"`
+
 	DroppedAttrs    int64 `json:"dropped_attrs,omitempty"`
 	DroppedEvents   int64 `json:"dropped_events,omitempty"`
 	DroppedChildren int64 `json:"dropped_children,omitempty"`
 
 	Children []*Span `json:"-"`
+	// Proc indexes the trace this span came from (Trace.Procs) in a
+	// merged view; 0 in a single-process trace.
+	Proc int `json:"-"`
 }
 
 // Duration returns the span's wall time.
@@ -64,13 +74,17 @@ func (s *Span) Duration() time.Duration {
 	return time.Duration(s.EndNS - s.StartNS)
 }
 
-// Trace is one fully loaded trace file.
+// Trace is one fully loaded trace file, or the merged view of
+// several (see Merge).
 type Trace struct {
 	Meta  Meta
 	Spans []*Span
 	// Roots are the spans with no exported parent, ordered by start
 	// time (ties broken by ID, so ordering is deterministic).
 	Roots []*Span
+	// Procs holds the per-process meta lines of a merged view, indexed
+	// by Span.Proc; nil for a single-process trace.
+	Procs []Meta
 	byID  map[uint64]*Span
 }
 
