@@ -4,15 +4,20 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-par bench-gp bench-monitor bench-pipeline bench-trace bench-serve bench-store benchdiff clean
+.PHONY: check vet build examples test race bench bench-par bench-gp bench-monitor bench-pipeline bench-trace bench-serve bench-store bench-fleet benchdiff clean
 
-check: vet build race test
+check: vet build examples race test
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Every example program must keep compiling against the current APIs
+# (go build discards the binaries; this is a pure build check).
+examples:
+	$(GO) build ./examples/...
 
 # internal/obs is hammered from 16 goroutines in its tests and
 # internal/building is the per-cell hot path the obs counters ride on.
@@ -41,6 +46,7 @@ build:
 # while requests race the drain gate — serve joins the race gate for
 # that.
 race:
+	$(GO) test -race -short ./internal/fleet
 	$(GO) test -race ./internal/obs ./internal/building ./internal/par ./internal/sysid ./internal/cluster ./internal/selection ./internal/mat ./internal/monitor ./internal/pipeline ./internal/artifact ./internal/traceview ./internal/serve
 
 test:
@@ -107,6 +113,15 @@ bench-store:
 # responses lost to the drain.
 bench-serve:
 	$(GO) test ./internal/benchserve -run RecordServeBench -record-serve-bench
+
+# Regenerate the fleet-scale pipeline benchmark in BENCH_fleet.json
+# (a 16-building mixed-archetype portfolio through the full pipeline,
+# cold at 1 and 8 workers, then warm). Three gates: report bytes
+# identical across every run, warm re-run >=10x cold, and — on
+# multi-core machines — 8-worker cold >=3x serial (recorded but not
+# enforced on a single-CPU host; see the "note" field).
+bench-fleet:
+	$(GO) test ./internal/benchfleet -run RecordFleetBench -record-fleet-bench -timeout 30m
 
 # Re-run every runnable benchmark recorded in the BENCH_*.json
 # baselines and fail (exit 2) on ns/op regressions beyond the

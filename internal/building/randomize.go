@@ -1,0 +1,88 @@
+package building
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+)
+
+// RandomSpec returns a deterministically randomized Spec for one fleet
+// member. The random stream is derived from (seed, archetype, index)
+// through an FNV-1a hash, so generation never touches global rand, two
+// buildings in the same fleet never share a stream, and the same
+// (seed, archetype, index) triple always yields a byte-identical spec
+// — the property the fleet determinism tests pin.
+//
+// Every parameter is drawn in a fixed order from ranges that
+// Validate() accepts, so the returned spec is always constructible.
+func RandomSpec(archetype string, seed int64, index int) (Spec, error) {
+	sp, err := DefaultSpec(archetype)
+	if err != nil {
+		return Spec{}, err
+	}
+	rng := rand.New(rand.NewSource(deriveSeed(seed, archetype, index)))
+	switch archetype {
+	case ArchetypeAuditorium:
+		c := sp.Auditorium
+		c.ThermalMassFactor = uni(rng, 2.5, 4.5)
+		c.MixingUA = uni(rng, 800, 1600)
+		c.MixDriftPerDay = uni(rng, 0.002, 0.008)
+		c.EnvelopeUA = uni(rng, 30, 80)
+		c.GroundUA = uni(rng, 60, 130)
+		c.GroundTemp = uni(rng, 14, 18)
+		c.OccupantHeat = uni(rng, 80, 105)
+		c.SeatMixBoost = uni(rng, 2, 4)
+		c.StageMixFactor = uni(rng, 0.1, 0.4)
+		c.PlenumMass = uni(rng, 100, 180)
+		c.TurbulencePower = uni(rng, 3000, 7000)
+		c.InitialTemp = uni(rng, 19, 21.5)
+	case ArchetypeOffice:
+		c := sp.Office
+		c.ZX = 2 + rng.Intn(2)
+		c.ZY = 2 + rng.Intn(2)
+		c.Depth = uni(rng, 24, 36)
+		c.Width = uni(rng, 16, 24)
+		c.ThermalMassFactor = uni(rng, 4, 8)
+		c.InterZoneUA = uni(rng, 200, 450)
+		// The identified thermal network: an independent conductance
+		// scale per inter-zone edge (drawn after the grid shape so the
+		// edge count is fixed first).
+		c.UAScale = make([]float64, c.NumEdges())
+		for e := range c.UAScale {
+			c.UAScale[e] = uni(rng, 0.5, 1.8)
+		}
+		c.EnvelopeUA = uni(rng, 250, 550)
+		c.RoofUA = uni(rng, 80, 220)
+		c.LightingPower = uni(rng, 2500, 5500)
+		c.InitialTemp = uni(rng, 20, 22)
+	case ArchetypeResidence:
+		c := sp.Residence
+		c.FloorArea = uni(rng, 60, 180)
+		c.Zones = 3 + rng.Intn(3)
+		c.R = uni(rng, 5, 12)
+		c.C = uni(rng, 8000, 20000)
+		c.InterZoneUA = uni(rng, 80, 250)
+		c.WindowFrac = uni(rng, 0.12, 0.25)
+		c.SolarPeak = uni(rng, 300, 600)
+		c.InitialTemp = uni(rng, 18.5, 21)
+	}
+	return sp, nil
+}
+
+// deriveSeed hashes (seed, archetype, index) into the per-building
+// rand source.
+func deriveSeed(seed int64, archetype string, index int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(archetype))
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(index)))
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
+// uni draws uniformly from [lo, hi).
+func uni(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*rng.Float64()
+}

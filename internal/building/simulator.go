@@ -61,8 +61,8 @@ type Config struct {
 	// SeatMixBoost multiplies the mixing conductance between two
 	// seating cells: occupant plumes and the ceiling diffusers churn
 	// the seating block into a near-uniform zone, while the front
-	// (stage/outlet) cells keep their own microclimate. Values < 1 are
-	// treated as 1.
+	// (stage/outlet) cells keep their own microclimate. Must be >= 1
+	// (Validate rejects smaller values).
 	SeatMixBoost float64
 	// StageMixFactor multiplies the mixing conductance on edges that
 	// cross the stage/seating boundary. The supply jets wash the stage
@@ -70,8 +70,8 @@ type Config struct {
 	// microclimate couples only weakly into the seating block; this is
 	// what makes the front sensor column track the supply plenum while
 	// the seats track the occupant load (the correlation structure
-	// behind the paper's Fig. 6 clusters). Values outside (0, 1] are
-	// treated as 1 (no attenuation).
+	// behind the paper's Fig. 6 clusters). Must be in (0, 1]
+	// (Validate rejects anything else).
 	StageMixFactor float64
 	// LightingPower is the total lighting heat in W when lights are on.
 	LightingPower float64
@@ -183,33 +183,8 @@ type Simulator struct {
 // NewSimulator validates cfg and returns a simulator at the initial
 // uniform state.
 func NewSimulator(cfg Config) (*Simulator, error) {
-	if cfg.NX < 2 || cfg.NY < 2 {
-		return nil, fmt.Errorf("building: grid %dx%d must be at least 2x2", cfg.NX, cfg.NY)
-	}
-	if cfg.Height <= 0 {
-		return nil, fmt.Errorf("building: height %v must be positive", cfg.Height)
-	}
-	if cfg.ThermalMassFactor < 1 {
-		return nil, fmt.Errorf("building: thermal mass factor %v must be >= 1", cfg.ThermalMassFactor)
-	}
-	if cfg.MixingUA <= 0 {
-		return nil, fmt.Errorf("building: mixing conductance %v must be positive", cfg.MixingUA)
-	}
-	if cfg.MixDriftPerDay < -0.5 || cfg.MixDriftPerDay > 0.5 {
-		return nil, fmt.Errorf("building: mixing drift %v/day outside [-0.5, 0.5]", cfg.MixDriftPerDay)
-	}
-	if cfg.EnvelopeUA < 0 || cfg.GroundUA < 0 {
-		return nil, fmt.Errorf("building: conductances must be non-negative (envelope %v, ground %v)",
-			cfg.EnvelopeUA, cfg.GroundUA)
-	}
-	if cfg.NumOutlets <= 0 {
-		return nil, fmt.Errorf("building: outlet count %d must be positive", cfg.NumOutlets)
-	}
-	if cfg.NumOutlets > cfg.NY {
-		return nil, fmt.Errorf("building: %d outlets exceed %d front cells", cfg.NumOutlets, cfg.NY)
-	}
-	if cfg.PlenumMass <= 0 {
-		return nil, fmt.Errorf("building: plenum mass %v must be positive", cfg.PlenumMass)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxStep <= 0 {
 		cfg.MaxStep = 10 * time.Second
@@ -261,10 +236,6 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 			s.seatMask[ix*s.ny+iy] = true
 		}
 	}
-	if len(s.seatCells) == 0 {
-		return nil, fmt.Errorf("building: seating start %v leaves no seat cells", cfg.SeatStartX)
-	}
-
 	// Front cells (ix == 0) are fed by the outlet covering their Y band.
 	s.outletOf = make([]int, s.ny)
 	for iy := 0; iy < s.ny; iy++ {
@@ -337,14 +308,10 @@ func (s *Simulator) outletFlows(flows []float64) []float64 {
 func (s *Simulator) substep(sub float64, in Inputs) {
 	cfg := &s.cfg
 	mix := cfg.MixingUA * s.driftFactor()
+	// Validate() guarantees boost >= 1 and stage in (0, 1]; the old
+	// silent clamps are gone.
 	boost := cfg.SeatMixBoost
-	if boost < 1 {
-		boost = 1
-	}
 	stage := cfg.StageMixFactor
-	if stage <= 0 || stage > 1 {
-		stage = 1
-	}
 	groundTemp := cfg.GroundTemp + cfg.GroundTempDriftPerDay*s.elapsed/86400
 
 	flows := s.outletFlows(in.HVAC.Flows)

@@ -1,0 +1,63 @@
+package building
+
+import "fmt"
+
+// Validate checks every Config field against its physical range. It
+// replaces the old silent clamps (SeatMixBoost < 1 treated as 1,
+// StageMixFactor outside (0, 1] treated as 1): an out-of-range value
+// now surfaces as an error at construction time instead of silently
+// retuning the physics. A zero MaxStep is the one permitted zero
+// value — NewSimulator fills in the 10 s default.
+func (c Config) Validate() error {
+	if c.NX < 2 || c.NY < 2 {
+		return fmt.Errorf("building: grid %dx%d must be at least 2x2", c.NX, c.NY)
+	}
+	if c.Height <= 0 {
+		return fmt.Errorf("building: height %v must be positive", c.Height)
+	}
+	if c.ThermalMassFactor < 1 {
+		return fmt.Errorf("building: thermal mass factor %v must be >= 1", c.ThermalMassFactor)
+	}
+	if c.MixingUA <= 0 {
+		return fmt.Errorf("building: mixing conductance %v must be positive", c.MixingUA)
+	}
+	if c.MixDriftPerDay < -0.5 || c.MixDriftPerDay > 0.5 {
+		return fmt.Errorf("building: mixing drift %v/day outside [-0.5, 0.5]", c.MixDriftPerDay)
+	}
+	if c.EnvelopeUA < 0 || c.GroundUA < 0 {
+		return fmt.Errorf("building: conductances must be non-negative (envelope %v, ground %v)",
+			c.EnvelopeUA, c.GroundUA)
+	}
+	if c.SeatMixBoost < 1 {
+		return fmt.Errorf("building: seat mix boost %v must be >= 1", c.SeatMixBoost)
+	}
+	if c.StageMixFactor <= 0 || c.StageMixFactor > 1 {
+		return fmt.Errorf("building: stage mix factor %v outside (0, 1]", c.StageMixFactor)
+	}
+	if c.NumOutlets <= 0 {
+		return fmt.Errorf("building: outlet count %d must be positive", c.NumOutlets)
+	}
+	if c.NumOutlets > c.NY {
+		return fmt.Errorf("building: %d outlets exceed %d front cells", c.NumOutlets, c.NY)
+	}
+	if c.PlenumMass <= 0 {
+		return fmt.Errorf("building: plenum mass %v must be positive", c.PlenumMass)
+	}
+	if c.MaxStep < 0 {
+		return fmt.Errorf("building: max step %v must not be negative", c.MaxStep)
+	}
+	// Seating must cover at least one cell column, else occupant heat
+	// has nowhere to land.
+	dx := RoomDepth / float64(c.NX)
+	seats := false
+	for ix := 0; ix < c.NX; ix++ {
+		if (float64(ix)+0.5)*dx >= c.SeatStartX {
+			seats = true
+			break
+		}
+	}
+	if !seats {
+		return fmt.Errorf("building: seating start %v leaves no seat cells", c.SeatStartX)
+	}
+	return nil
+}

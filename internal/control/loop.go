@@ -19,6 +19,10 @@ import (
 type LoopConfig struct {
 	// Building configures the plant being controlled.
 	Building building.Config
+	// Spec optionally selects a non-auditorium archetype; when set it
+	// overrides Building (and keeps nil-spec JSON encodings unchanged
+	// via omitempty, so existing cache keys survive).
+	Spec *building.Spec `json:",omitempty"`
 	// Start and Days bound the simulated span.
 	Start time.Time
 	Days  int
@@ -76,6 +80,12 @@ type LoopResult struct {
 	// MeanOccupiedFlow is the average total airflow during schedule-on
 	// hours in kg/s.
 	MeanOccupiedFlow float64
+	// OccupiedHours is the simulated time with people present.
+	OccupiedHours float64
+	// ComfortViolationHours is the expected per-position time (hours)
+	// spent outside the +-0.5 PMV comfort band while occupied:
+	// DiscomfortFrac scaled by OccupiedHours.
+	ComfortViolationHours float64
 }
 
 // RunLoop simulates the controller against the building and scores it.
@@ -102,7 +112,16 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 				n, len(cfg.SensorPositions), ErrBadConfig)
 		}
 	}
-	sim, err := building.NewSimulator(cfg.Building)
+	var sim building.Building
+	var err error
+	if cfg.Spec != nil {
+		if err = cfg.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		sim, err = cfg.Spec.New()
+	} else {
+		sim, err = building.NewSimulator(cfg.Building)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +143,7 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 	var coolingJ float64
 	var flowSum float64
 	var flowN int
+	var occSteps int
 
 	var cmd Command
 	nextDecision := cfg.Start
@@ -228,6 +248,7 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 
 		// Comfort scoring while people are present.
 		if occ > 0 {
+			occSteps++
 			for _, p := range cfg.ComfortPositions {
 				temp := sim.TemperatureAt(p)
 				dev := temp - cfg.Setpoint
@@ -256,6 +277,8 @@ func RunLoop(cfg LoopConfig, ctrl Controller) (*LoopResult, error) {
 		res.ComfortRMS = math.Sqrt(comfortSq / float64(comfortN))
 		res.DiscomfortFrac = discomfort / comfortSamples
 	}
+	res.OccupiedHours = float64(occSteps) * cfg.SimStep.Hours()
+	res.ComfortViolationHours = res.DiscomfortFrac * res.OccupiedHours
 	res.CoolingKWh = coolingJ / 3.6e6
 	if flowN > 0 {
 		res.MeanOccupiedFlow = flowSum / float64(flowN)

@@ -68,6 +68,13 @@ type Config struct {
 	// work, with occlusion-shaped counting error.
 	UseVisionCamera bool
 
+	// Spec optionally selects a non-auditorium building archetype: when
+	// set, its model and sensor deployment replace Building and the
+	// paper's 27-sensor layout. Nil keeps the auditorium path (and, via
+	// omitempty, keeps the config's JSON — and every cache key hashed
+	// from it — byte-identical to the pre-archetype encoding).
+	Spec *building.Spec `json:",omitempty"`
+
 	Building  building.Config
 	HVAC      hvac.Config
 	Weather   weather.Config
@@ -214,11 +221,24 @@ func Generate(cfg Config) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: portal: %w", err)
 	}
 
-	sim, err := building.NewSimulator(cfg.Building)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: building: %w", err)
+	var sim building.Building
+	var sensors []building.SensorSpec
+	if cfg.Spec != nil {
+		if err := cfg.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: building spec: %w", err)
+		}
+		sim, err = cfg.Spec.New()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: building: %w", err)
+		}
+		sensors = cfg.Spec.Sensors()
+	} else {
+		sim, err = building.NewSimulator(cfg.Building)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: building: %w", err)
+		}
+		sensors = building.AuditoriumSensors()
 	}
-	sensors := building.AuditoriumSensors()
 
 	outages := sensornet.GenerateOutages(cfg.Start, end, cfg.NumLongOutages, cfg.NumShortOutages, cfg.Seed+200)
 	store := sensornet.NewStore(outages)

@@ -1,0 +1,436 @@
+// Package fleet runs the full simulate → sysid → cluster → select →
+// control pipeline across a portfolio of parameter-randomized
+// buildings — the workload the ROADMAP's scale machinery (artifact
+// tiers, serve daemon, distributed tracing) exists to carry.
+//
+// Each fleet member is one building.RandomSpec draw: the archetype
+// cycles round-robin over Config.Archetypes and the per-building
+// parameter stream is derived from (Seed, archetype, index), so the
+// same config always plans the same portfolio. Every member's stages
+// are defined on ONE shared pipeline engine under a namespaced stage
+// name ("b0007/simulate"); the fleet report node depends on every
+// member's summary node, so the engine's dependency fan-out runs the
+// whole portfolio over the par pool and a warm re-run is pure cache
+// hits all the way to the report artifact. Reports are byte-identical
+// at any worker count and across cold/warm runs.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"auditherm/internal/artifact"
+	"auditherm/internal/building"
+	"auditherm/internal/cluster"
+	"auditherm/internal/dataset"
+	"auditherm/internal/obs"
+	"auditherm/internal/pipeline"
+	"auditherm/internal/stats"
+	"auditherm/internal/sysid"
+)
+
+// fleetStart anchors every member's trace; any fixed UTC midnight
+// works (the canonical control-study start keeps cache keys tidy).
+var fleetStart = time.Date(2013, time.March, 4, 0, 0, 0, 0, time.UTC)
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// N is the portfolio size.
+	N int `json:"n"`
+	// Archetypes cycles round-robin over the portfolio; empty selects
+	// all known archetypes.
+	Archetypes []string `json:"archetypes"`
+	// Seed feeds every member's parameter randomizer and trace noise.
+	Seed int64 `json:"seed"`
+	// Days is each member's identification-trace length.
+	Days int `json:"days"`
+	// ControlDays is each member's closed-loop study length.
+	ControlDays int `json:"control_days"`
+	// Setpoint scores comfort in the control stage.
+	Setpoint float64 `json:"setpoint"`
+	// Controller is the control stage's controller ("deadband" or
+	// "fixed").
+	Controller string `json:"controller"`
+}
+
+// DefaultConfig returns a small mixed-archetype fleet sized so a run
+// completes in seconds even without a warm cache.
+func DefaultConfig() Config {
+	return Config{
+		N:           6,
+		Archetypes:  building.Archetypes(),
+		Seed:        1,
+		Days:        6,
+		ControlDays: 2,
+		Setpoint:    22,
+		Controller:  "deadband",
+	}
+}
+
+// Validate checks the fleet config.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("fleet: portfolio size %d must be positive", c.N)
+	}
+	if c.Days < 4 {
+		return fmt.Errorf("fleet: %d trace days cannot yield the 4 usable windows sysid needs", c.Days)
+	}
+	if c.ControlDays < 1 {
+		return fmt.Errorf("fleet: control days %d must be positive", c.ControlDays)
+	}
+	known := make(map[string]bool)
+	for _, a := range building.Archetypes() {
+		known[a] = true
+	}
+	for _, a := range c.Archetypes {
+		if !known[a] {
+			return fmt.Errorf("fleet: unknown archetype %q (have %v)", a, building.Archetypes())
+		}
+	}
+	switch c.Controller {
+	case "", "deadband", "fixed":
+	default:
+		return fmt.Errorf("fleet: unknown controller %q (deadband or fixed)", c.Controller)
+	}
+	return nil
+}
+
+// Member is one planned fleet building.
+type Member struct {
+	// Index is the member's position in the portfolio.
+	Index int `json:"index"`
+	// ID names the member's pipeline stages ("b0007").
+	ID string `json:"id"`
+	// Spec is the randomized building.
+	Spec building.Spec `json:"spec"`
+}
+
+// Plan expands the config into the deterministic member list: the
+// archetype cycle and each member's randomized spec.
+func (c Config) Plan() ([]Member, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	archetypes := c.Archetypes
+	if len(archetypes) == 0 {
+		archetypes = building.Archetypes()
+	}
+	members := make([]Member, c.N)
+	for i := 0; i < c.N; i++ {
+		arch := archetypes[i%len(archetypes)]
+		sp, err := building.RandomSpec(arch, c.Seed, i)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = Member{
+			Index: i,
+			ID:    fmt.Sprintf("b%04d", i),
+			Spec:  sp,
+		}
+	}
+	return members, nil
+}
+
+// memberSeed derives a member's trace-noise seed (sensor calibration,
+// outage plans, occupancy); distinct from the parameter-randomizer
+// stream so reseeding one does not silently reshuffle the other.
+func (c Config) memberSeed(index int) int64 {
+	return c.Seed + int64(index+1)*7919
+}
+
+// BuildingResult is one member's persisted pipeline outcome.
+type BuildingResult struct {
+	Index     int               `json:"index"`
+	ID        string            `json:"id"`
+	Archetype string            `json:"archetype"`
+	Metadata  building.Metadata `json:"metadata"`
+
+	// ModelRMSE is the member's median per-sensor free-run RMS (degC).
+	ModelRMSE artifact.Float `json:"model_rmse_degc"`
+	// SpectralRadius is the identified model's spectral radius.
+	SpectralRadius artifact.Float `json:"spectral_radius"`
+	// Clusters is the sensor-cluster count.
+	Clusters int `json:"clusters"`
+
+	// Control outcomes.
+	ComfortRMS            artifact.Float `json:"comfort_rms_degc"`
+	ComfortViolationHours artifact.Float `json:"comfort_violation_hours"`
+	OccupiedHours         artifact.Float `json:"occupied_hours"`
+	CoolingKWh            artifact.Float `json:"cooling_kwh"`
+}
+
+// BuildingCodec persists a BuildingResult.
+var BuildingCodec = artifact.JSONCodec[*BuildingResult]("fleet-building", 1)
+
+// Distribution summarizes a metric across an archetype's members.
+type Distribution struct {
+	P50 artifact.Float `json:"p50"`
+	P90 artifact.Float `json:"p90"`
+	P99 artifact.Float `json:"p99"`
+}
+
+// distOf computes a Distribution (errors only on an empty sample,
+// which the caller excludes).
+func distOf(xs []float64) (Distribution, error) {
+	var d Distribution
+	for _, q := range []struct {
+		p   float64
+		dst *artifact.Float
+	}{{50, &d.P50}, {90, &d.P90}, {99, &d.P99}} {
+		v, err := stats.Percentile(xs, q.p)
+		if err != nil {
+			return d, err
+		}
+		*q.dst = artifact.Float(v)
+	}
+	return d, nil
+}
+
+// ArchetypeStats aggregates one archetype's distributions.
+type ArchetypeStats struct {
+	Count                 int          `json:"count"`
+	ModelRMSE             Distribution `json:"model_rmse_degc"`
+	ComfortViolationHours Distribution `json:"comfort_violation_hours"`
+	CoolingKWh            Distribution `json:"cooling_kwh"`
+}
+
+// Report is the persisted fleet outcome: every member plus
+// per-archetype distributions of model error, comfort violation and
+// HVAC energy.
+type Report struct {
+	Config       Config                    `json:"config"`
+	Buildings    []*BuildingResult         `json:"buildings"`
+	PerArchetype map[string]ArchetypeStats `json:"per_archetype"`
+}
+
+// ReportCodec persists a Report.
+var ReportCodec = artifact.JSONCodec[*Report]("fleet-report", 1)
+
+// DatasetConfig derives a member's trace-generation config.
+func (c Config) DatasetConfig(m Member) dataset.Config {
+	dc := dataset.DefaultConfig()
+	dc.Start = fleetStart
+	dc.Days = c.Days
+	dc.SimStep = time.Minute
+	dc.Seed = c.memberSeed(m.Index)
+	// Fleet traces are clean (no outages or node failures): the small
+	// office/residence deployments have so few channels that one failed
+	// node corrupts most occupied windows past sysid's MaxMissing
+	// floor, and fleet runs measure portfolio scale, not robustness.
+	dc.NumLongOutages = 0
+	dc.NumShortOutages = 0
+	dc.NodeFailureProb = 0
+	sp := m.Spec
+	dc.Spec = &sp
+	dc.Occupancy.Capacity = sp.Metadata().DesignOccupancy
+	dc.Occupancy.Seed = dc.Seed + 1
+	return dc
+}
+
+// identifyConfig is the shared per-member sysid parameterization.
+// MaxMissing is looser than the single-building CLI default (0.1):
+// a fleet trace is short (Days windows total, floor of 4 usable), so
+// routine packet loss must not disqualify windows — missing steps are
+// simply dropped rows in the least-squares fit.
+func identifyConfig() pipeline.IdentifyConfig {
+	return pipeline.IdentifyConfig{
+		Order:      sysid.SecondOrder,
+		Mode:       dataset.Occupied,
+		OnHour:     6,
+		OffHour:    21,
+		MaxMissing: 0.25,
+	}
+}
+
+// clusterK picks the sensor-cluster count for a deployment: the
+// paper's 4 for dense layouts, fewer for the small archetypes.
+func clusterK(sensors int) int {
+	if sensors >= 12 {
+		return 4
+	}
+	k := sensors - 2
+	if k < 2 {
+		k = 2
+	}
+	if k > 3 {
+		k = 3
+	}
+	return k
+}
+
+// ControlConfig derives a member's closed-loop stage config.
+func (c Config) ControlConfig(m Member) pipeline.ControlConfig {
+	ctrl := c.Controller
+	if ctrl == "" {
+		ctrl = "deadband"
+	}
+	sp := m.Spec
+	return pipeline.ControlConfig{
+		Controller:   ctrl,
+		Days:         c.ControlDays,
+		Setpoint:     c.Setpoint,
+		Flow:         0.3,
+		Seed:         c.memberSeed(m.Index) + 500,
+		Start:        fleetStart,
+		Spec:         &sp,
+		SimStep:      2 * time.Minute,
+		DecisionStep: 15 * time.Minute,
+	}
+}
+
+// BuildingStage wires one member's full pipeline onto the shared
+// engine and returns its summary node. Stage names are namespaced by
+// the member ID, so one engine holds the whole portfolio and the
+// content-addressed keys of different members never collide.
+func BuildingStage(eng *pipeline.Engine, cfg Config, m Member) *pipeline.Node[*BuildingResult] {
+	id := m.ID
+	icfg := identifyConfig()
+	horizon := 2 * time.Hour
+	sensors := m.Spec.Sensors()
+
+	ds := pipeline.SimulateNamed(eng, id+"/simulate", cfg.DatasetConfig(m))
+	frame := pipeline.DatasetFrameNamed(eng, id+"/frame", ds)
+	model := pipeline.IdentifyNamed(eng, id+"/sysid", frame, icfg)
+	eval := pipeline.EvaluateNamed(eng, id+"/evaluate", frame, model, icfg, horizon)
+	clusters := pipeline.ClusterSensorsNamed(eng, id+"/cluster", frame, pipeline.ClusterConfig{
+		Metric: cluster.Correlation,
+		K:      clusterK(len(sensors)),
+		OnHour: 6, OffHour: 21,
+		Seed: 11, TrainHalf: true,
+	})
+	sel := pipeline.SelectRepresentativesNamed(eng, id+"/select", frame, clusters, pipeline.SelectConfig{
+		OnHour: 6, OffHour: 21,
+		Seeds: 3, GPMode: "fast",
+	})
+	ctl := pipeline.ControlRunNamed(eng, id+"/control", cfg.ControlConfig(m), nil)
+
+	return pipeline.Define(eng, id+"/summary", BuildingCodec,
+		map[string]string{"member": hashMember(m)},
+		[]pipeline.AnyNode{eval, clusters, sel, ctl},
+		func(ctx context.Context) (*BuildingResult, error) {
+			ev, err := eval.Get(ctx)
+			if err != nil {
+				return nil, err
+			}
+			ca, err := clusters.Get(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sel.Get(ctx); err != nil {
+				return nil, err
+			}
+			cs, err := ctl.Get(ctx)
+			if err != nil {
+				return nil, err
+			}
+			rmse, err := ev.RMSPercentile(50)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: %s model RMS: %w", id, err)
+			}
+			buildingsTotal.Inc()
+			return &BuildingResult{
+				Index:                 m.Index,
+				ID:                    m.ID,
+				Archetype:             m.Spec.Archetype,
+				Metadata:              m.Spec.Metadata(),
+				ModelRMSE:             artifact.Float(rmse),
+				SpectralRadius:        ev.SpectralRadius,
+				Clusters:              ca.K,
+				ComfortRMS:            cs.ComfortRMS,
+				ComfortViolationHours: cs.ComfortViolationHours,
+				OccupiedHours:         cs.OccupiedHours,
+				CoolingKWh:            cs.CoolingKWh,
+			}, nil
+		})
+}
+
+// hashMember captures a member's identity for the summary stage key.
+func hashMember(m Member) string {
+	return fmt.Sprintf("%d/%s/%s", m.Index, m.ID, m.Spec.Archetype)
+}
+
+// ReportStage defines the fleet aggregation node over every member
+// summary. Its cache key chains every member's artifact digest, so any
+// parameter change anywhere in the portfolio invalidates exactly the
+// affected member chain plus this one node.
+func ReportStage(eng *pipeline.Engine, cfg Config, members []*pipeline.Node[*BuildingResult]) *pipeline.Node[*Report] {
+	deps := make([]pipeline.AnyNode, len(members))
+	for i, m := range members {
+		deps[i] = m
+	}
+	return pipeline.Define(eng, "fleet/report", ReportCodec,
+		map[string]string{"fleet_config": pipeline.HashJSON(cfg)},
+		deps,
+		func(ctx context.Context) (*Report, error) {
+			rep := &Report{
+				Config:       cfg,
+				Buildings:    make([]*BuildingResult, 0, len(members)),
+				PerArchetype: make(map[string]ArchetypeStats),
+			}
+			for _, node := range members {
+				br, err := node.Get(ctx)
+				if err != nil {
+					return nil, err
+				}
+				rep.Buildings = append(rep.Buildings, br)
+			}
+			sort.Slice(rep.Buildings, func(i, j int) bool {
+				return rep.Buildings[i].Index < rep.Buildings[j].Index
+			})
+			byArch := make(map[string][]*BuildingResult)
+			for _, br := range rep.Buildings {
+				byArch[br.Archetype] = append(byArch[br.Archetype], br)
+			}
+			for arch, brs := range byArch {
+				var rmse, viol, kwh []float64
+				for _, br := range brs {
+					rmse = append(rmse, float64(br.ModelRMSE))
+					viol = append(viol, float64(br.ComfortViolationHours))
+					kwh = append(kwh, float64(br.CoolingKWh))
+				}
+				st := ArchetypeStats{Count: len(brs)}
+				var err error
+				if st.ModelRMSE, err = distOf(rmse); err != nil {
+					return nil, err
+				}
+				if st.ComfortViolationHours, err = distOf(viol); err != nil {
+					return nil, err
+				}
+				if st.CoolingKWh, err = distOf(kwh); err != nil {
+					return nil, err
+				}
+				rep.PerArchetype[arch] = st
+			}
+			return rep, nil
+		})
+}
+
+// Run plans the portfolio, wires every member onto eng and resolves
+// the report. The engine's dependency fan-out executes members over
+// the par pool at the engine's worker count; results are bit-identical
+// at any setting.
+func Run(ctx context.Context, eng *pipeline.Engine, cfg Config) (*Report, error) {
+	t0 := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "fleet/run")
+	defer sp.End()
+	members, err := cfg.Plan()
+	if err != nil {
+		sp.SetError(err)
+		return nil, err
+	}
+	nodes := make([]*pipeline.Node[*BuildingResult], len(members))
+	for i, m := range members {
+		nodes[i] = BuildingStage(eng, cfg, m)
+	}
+	rep, err := ReportStage(eng, cfg, nodes).Get(ctx)
+	if err != nil {
+		sp.SetError(err)
+		return nil, err
+	}
+	runsTotal.Inc()
+	runSeconds.Observe(time.Since(t0).Seconds())
+	sp.SetAttr(obs.Int("buildings", int64(len(members))))
+	return rep, nil
+}

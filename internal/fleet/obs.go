@@ -1,0 +1,15 @@
+package fleet
+
+import "auditherm/internal/obs"
+
+// Fleet metrics: portfolio runs completed, buildings summarized (cache
+// hits on a warm re-run skip the summary compute, so this counts real
+// per-building work), and wall-clock per run.
+var (
+	runsTotal = obs.NewCounter("auditherm_fleet_runs_total",
+		"Completed fleet runs.")
+	buildingsTotal = obs.NewCounter("auditherm_fleet_buildings_total",
+		"Building summaries computed across fleet runs (cache hits excluded).")
+	runSeconds = obs.NewHistogram("auditherm_fleet_run_seconds",
+		"Wall-clock seconds per fleet run.", obs.DurationBuckets)
+)

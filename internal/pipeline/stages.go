@@ -21,6 +21,11 @@ import (
 	"auditherm/internal/weather"
 )
 
+// HashJSON derives a config-hash entry from any JSON-marshalable
+// configuration struct, for packages (e.g. fleet) composing their own
+// stages on top of this engine.
+func HashJSON(v any) string { return hashJSON(v) }
+
 // hashJSON derives a config-hash entry from any JSON-marshalable
 // configuration struct (struct field order makes this deterministic).
 func hashJSON(v any) string {
@@ -43,7 +48,15 @@ func hashJSON(v any) string {
 // ground truth, schedule, outage plan), so every downstream stage and
 // the experiments Env rehydrate from it bit-identically.
 func Simulate(e *Engine, cfg dataset.Config) *Node[*dataset.Dataset] {
-	return Define(e, "simulate", artifact.DatasetCodec,
+	return SimulateNamed(e, "simulate", cfg)
+}
+
+// SimulateNamed is Simulate under an explicit node name. Node names
+// are unique per engine and part of every cache key, so fleet runs
+// namespace each building's stages ("b0007/simulate") on one shared
+// engine.
+func SimulateNamed(e *Engine, name string, cfg dataset.Config) *Node[*dataset.Dataset] {
+	return Define(e, name, artifact.DatasetCodec,
 		map[string]string{"dataset_config": hashJSON(cfg)},
 		nil,
 		func(ctx context.Context) (*dataset.Dataset, error) {
@@ -57,7 +70,12 @@ func Simulate(e *Engine, cfg dataset.Config) *Node[*dataset.Dataset] {
 // downstream keys match whether the frame came from a simulation or an
 // external CSV with identical content.
 func DatasetFrame(e *Engine, ds *Node[*dataset.Dataset]) *Node[*timeseries.Frame] {
-	return Define(e, "frame", artifact.FrameCodec,
+	return DatasetFrameNamed(e, "frame", ds)
+}
+
+// DatasetFrameNamed is DatasetFrame under an explicit node name.
+func DatasetFrameNamed(e *Engine, name string, ds *Node[*dataset.Dataset]) *Node[*timeseries.Frame] {
+	return Define(e, name, artifact.FrameCodec,
 		nil,
 		[]AnyNode{ds},
 		func(ctx context.Context) (*timeseries.Frame, error) {
@@ -138,7 +156,12 @@ func splitUsable(f *timeseries.Frame, cfg IdentifyConfig) (temps, inputs *mat.De
 // Identify defines the model-identification stage: piecewise least
 // squares over the training half of the usable mode windows.
 func Identify(e *Engine, frame *Node[*timeseries.Frame], cfg IdentifyConfig) *Node[*artifact.SavedModel] {
-	return Define(e, "sysid", artifact.ModelCodec,
+	return IdentifyNamed(e, "sysid", frame, cfg)
+}
+
+// IdentifyNamed is Identify under an explicit node name.
+func IdentifyNamed(e *Engine, name string, frame *Node[*timeseries.Frame], cfg IdentifyConfig) *Node[*artifact.SavedModel] {
+	return Define(e, name, artifact.ModelCodec,
 		map[string]string{"identify_config": hashJSON(cfg)},
 		[]AnyNode{frame},
 		func(ctx context.Context) (*artifact.SavedModel, error) {
@@ -194,7 +217,12 @@ var EvalCodec = artifact.JSONCodec[*EvalArtifact]("sysid-eval", 1)
 // Evaluate defines the free-run evaluation stage on the validation
 // half of the usable windows.
 func Evaluate(e *Engine, frame *Node[*timeseries.Frame], model *Node[*artifact.SavedModel], cfg IdentifyConfig, horizon time.Duration) *Node[*EvalArtifact] {
-	return Define(e, "evaluate", EvalCodec,
+	return EvaluateNamed(e, "evaluate", frame, model, cfg, horizon)
+}
+
+// EvaluateNamed is Evaluate under an explicit node name.
+func EvaluateNamed(e *Engine, name string, frame *Node[*timeseries.Frame], model *Node[*artifact.SavedModel], cfg IdentifyConfig, horizon time.Duration) *Node[*EvalArtifact] {
+	return Define(e, name, EvalCodec,
 		map[string]string{
 			"identify_config": hashJSON(cfg),
 			"horizon":         horizon.String(),
@@ -279,7 +307,12 @@ func collectOccupied(f *timeseries.Frame, onHour, offHour int, trainHalf bool) (
 
 // ClusterSensors defines the spectral-clustering stage.
 func ClusterSensors(e *Engine, frame *Node[*timeseries.Frame], cfg ClusterConfig) *Node[*artifact.ClusterArtifact] {
-	return Define(e, "cluster", artifact.ClusterCodec,
+	return ClusterSensorsNamed(e, "cluster", frame, cfg)
+}
+
+// ClusterSensorsNamed is ClusterSensors under an explicit node name.
+func ClusterSensorsNamed(e *Engine, name string, frame *Node[*timeseries.Frame], cfg ClusterConfig) *Node[*artifact.ClusterArtifact] {
+	return Define(e, name, artifact.ClusterCodec,
 		map[string]string{"cluster_config": hashJSON(cfg)},
 		[]AnyNode{frame},
 		func(ctx context.Context) (*artifact.ClusterArtifact, error) {
@@ -361,7 +394,13 @@ func greedyMIPath(mode string) (func(cov *mat.Dense, n int) ([]int, error), erro
 // SelectRepresentatives defines the representative-sensor stage over a
 // clustering.
 func SelectRepresentatives(e *Engine, frame *Node[*timeseries.Frame], clusters *Node[*artifact.ClusterArtifact], cfg SelectConfig) *Node[*artifact.SelectionArtifact] {
-	return Define(e, "select", artifact.SelectionCodec,
+	return SelectRepresentativesNamed(e, "select", frame, clusters, cfg)
+}
+
+// SelectRepresentativesNamed is SelectRepresentatives under an
+// explicit node name.
+func SelectRepresentativesNamed(e *Engine, name string, frame *Node[*timeseries.Frame], clusters *Node[*artifact.ClusterArtifact], cfg SelectConfig) *Node[*artifact.SelectionArtifact] {
+	return Define(e, name, artifact.SelectionCodec,
 		map[string]string{"select_config": hashJSON(cfg)},
 		[]AnyNode{frame, clusters},
 		func(ctx context.Context) (*artifact.SelectionArtifact, error) {
@@ -486,7 +525,9 @@ func SelectRepresentatives(e *Engine, frame *Node[*timeseries.Frame], clusters *
 // ---------------------------------------------------------------------
 
 // ControlConfig parameterizes the closed-loop control stage, mirroring
-// the hvacsim CLI surface.
+// the hvacsim CLI surface. The archetype fields all carry omitempty so
+// the canonical auditorium config hashes exactly as before they
+// existed (warm caches survive).
 type ControlConfig struct {
 	// Controller is "deadband" or "fixed".
 	Controller string
@@ -498,6 +539,17 @@ type ControlConfig struct {
 	// Start anchors the simulated span (zero selects the repository's
 	// canonical 2013-03-04 start).
 	Start time.Time
+	// Spec optionally runs the loop against a non-auditorium archetype:
+	// its sensors observe, its whole deployment scores comfort.
+	Spec *building.Spec `json:",omitempty"`
+	// SimStep and DecisionStep override the 1 min / 15 min defaults
+	// when positive (fleet runs step coarser to cover many buildings).
+	SimStep      time.Duration `json:",omitempty"`
+	DecisionStep time.Duration `json:",omitempty"`
+	// Capacity overrides the occupancy generator capacity when
+	// positive; otherwise the archetype's design occupancy (or the
+	// auditorium default) applies.
+	Capacity int `json:",omitempty"`
 }
 
 // ControlSummary is the persisted closed-loop outcome.
@@ -507,21 +559,32 @@ type ControlSummary struct {
 	DiscomfortFrac   artifact.Float `json:"discomfort_frac"`
 	CoolingKWh       artifact.Float `json:"cooling_kwh"`
 	MeanOccupiedFlow artifact.Float `json:"mean_occupied_flow_kgs"`
+	// OccupiedHours and ComfortViolationHours summarize how long the
+	// space was occupied and how much of that time was out of the
+	// comfort band (version 2 additions).
+	OccupiedHours         artifact.Float `json:"occupied_hours"`
+	ComfortViolationHours artifact.Float `json:"comfort_violation_hours"`
 }
 
-// ControlCodec persists a ControlSummary.
-var ControlCodec = artifact.JSONCodec[*ControlSummary]("control", 1)
+// ControlCodec persists a ControlSummary. Version 2 added the
+// occupied/violation hour fields.
+var ControlCodec = artifact.JSONCodec[*ControlSummary]("control", 2)
 
 // ControlRun defines the closed-loop control/monitor stage. customize,
 // when non-nil, may attach side-effectful hooks (health monitor, fault
 // injection) to the loop config — the stage then runs uncached, since
 // the key cannot capture the hooks' behavior.
 func ControlRun(e *Engine, cc ControlConfig, customize func(*control.LoopConfig) error) *Node[*ControlSummary] {
+	return ControlRunNamed(e, "control", cc, customize)
+}
+
+// ControlRunNamed is ControlRun under an explicit node name.
+func ControlRunNamed(e *Engine, name string, cc ControlConfig, customize func(*control.LoopConfig) error) *Node[*ControlSummary] {
 	var opts []Opt
 	if customize != nil {
 		opts = append(opts, NoCache())
 	}
-	return Define(e, "control", ControlCodec,
+	return Define(e, name, ControlCodec,
 		map[string]string{"control_config": hashJSON(cc)},
 		nil,
 		func(ctx context.Context) (*ControlSummary, error) {
@@ -546,6 +609,11 @@ func ControlRun(e *Engine, cc ControlConfig, customize func(*control.LoopConfig)
 			}
 			occCfg := occupancy.DefaultGeneratorConfig()
 			occCfg.Seed = cc.Seed
+			if cc.Capacity > 0 {
+				occCfg.Capacity = cc.Capacity
+			} else if cc.Spec != nil {
+				occCfg.Capacity = cc.Spec.Metadata().DesignOccupancy
+			}
 			sched, err := occupancy.Generate(start, start.AddDate(0, 0, cc.Days), occCfg)
 			if err != nil {
 				return nil, err
@@ -556,19 +624,35 @@ func ControlRun(e *Engine, cc ControlConfig, customize func(*control.LoopConfig)
 			if err != nil {
 				return nil, err
 			}
+			sensors := building.AuditoriumSensors()
+			if cc.Spec != nil {
+				if err := cc.Spec.Validate(); err != nil {
+					return nil, err
+				}
+				sensors = cc.Spec.Sensors()
+			}
 			var thermoPos, allPos []building.Point
-			for _, sp := range building.AuditoriumSensors() {
+			for _, sp := range sensors {
 				allPos = append(allPos, sp.Pos)
 				if sp.Thermostat {
 					thermoPos = append(thermoPos, sp.Pos)
 				}
 			}
+			simStep := cc.SimStep
+			if simStep <= 0 {
+				simStep = time.Minute
+			}
+			decisionStep := cc.DecisionStep
+			if decisionStep <= 0 {
+				decisionStep = 15 * time.Minute
+			}
 			lc := control.LoopConfig{
 				Building:         building.DefaultConfig(),
+				Spec:             cc.Spec,
 				Start:            start,
 				Days:             cc.Days,
-				SimStep:          time.Minute,
-				DecisionStep:     15 * time.Minute,
+				SimStep:          simStep,
+				DecisionStep:     decisionStep,
 				Schedule:         sched,
 				Weather:          wm,
 				SensorPositions:  thermoPos,
@@ -586,11 +670,13 @@ func ControlRun(e *Engine, cc ControlConfig, customize func(*control.LoopConfig)
 				return nil, err
 			}
 			return &ControlSummary{
-				Controller:       res.Controller,
-				ComfortRMS:       artifact.Float(res.ComfortRMS),
-				DiscomfortFrac:   artifact.Float(res.DiscomfortFrac),
-				CoolingKWh:       artifact.Float(res.CoolingKWh),
-				MeanOccupiedFlow: artifact.Float(res.MeanOccupiedFlow),
+				Controller:            res.Controller,
+				ComfortRMS:            artifact.Float(res.ComfortRMS),
+				DiscomfortFrac:        artifact.Float(res.DiscomfortFrac),
+				CoolingKWh:            artifact.Float(res.CoolingKWh),
+				MeanOccupiedFlow:      artifact.Float(res.MeanOccupiedFlow),
+				OccupiedHours:         artifact.Float(res.OccupiedHours),
+				ComfortViolationHours: artifact.Float(res.ComfortViolationHours),
 			}, nil
 		}, opts...)
 }

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"testing"
+
+	"auditherm/internal/fleet"
+)
+
+// TestFleetEndpoint: /v1/fleet runs a small portfolio through the
+// full pipeline behind the daemon's admission machinery; a repeat is a
+// response-cache hit with byte-identical body, and bad parameters and
+// a misconfigured daemon building fail with errors, not clamps.
+func TestFleetEndpoint(t *testing.T) {
+	base, _, _ := startServer(t, Config{})
+
+	url := base + "/v1/fleet?n=2&days=4&control_days=1&seed=3"
+	st1, cold, h1 := get(t, url)
+	if st1 != http.StatusOK {
+		t.Fatalf("cold status %d: %s", st1, cold)
+	}
+	if c := h1.Get("X-Auditherm-Cache"); c != "miss" {
+		t.Errorf("cold cache header %q, want miss", c)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(cold, &rep); err != nil {
+		t.Fatalf("body not a fleet.Report: %v", err)
+	}
+	if len(rep.Buildings) != 2 {
+		t.Fatalf("report carries %d buildings, want 2", len(rep.Buildings))
+	}
+	if len(rep.PerArchetype) == 0 {
+		t.Fatal("report has no per-archetype distributions")
+	}
+
+	// Same request with defaults spelled out: canonical key, warm hit.
+	st2, warm, h2 := get(t, url+"&setpoint=22&controller=deadband")
+	if st2 != http.StatusOK {
+		t.Fatalf("warm status %d: %s", st2, warm)
+	}
+	if c := h2.Get("X-Auditherm-Cache"); c != "hit" {
+		t.Errorf("warm cache header %q, want hit", c)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm response bytes differ from cold")
+	}
+
+	for _, p := range []string{
+		"/v1/fleet?n=0",
+		"/v1/fleet?n=1000",
+		"/v1/fleet?archetypes=mall",
+		"/v1/fleet?days=1",
+		"/v1/fleet?controller=mpc",
+	} {
+		st, body, _ := get(t, base+p)
+		if st != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", p, st, body)
+		}
+	}
+}
+
+// TestNewRejectsInvalidBuilding: serve.New fails fast on an
+// out-of-range building instead of serving a silently-clamped one.
+func TestNewRejectsInvalidBuilding(t *testing.T) {
+	cfg := Config{Dataset: testDataset()}
+	cfg.Dataset.Building.SeatMixBoost = 0.5
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if _, err := New(cfg, log, nil); err == nil {
+		t.Fatal("invalid building config accepted")
+	}
+}

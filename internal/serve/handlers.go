@@ -7,11 +7,14 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
+	"auditherm/internal/building"
 	"auditherm/internal/cluster"
 	"auditherm/internal/dataset"
 	"auditherm/internal/experiments"
+	"auditherm/internal/fleet"
 	"auditherm/internal/obs"
 	"auditherm/internal/pipeline"
 	"auditherm/internal/sysid"
@@ -326,6 +329,74 @@ func (s *Server) parseReport(q url.Values) (map[string]string, computeFn, error)
 		s.storeEnv(src.Derived())
 		for k, v := range rep.Metrics {
 			b.SetMetric(k, float64(v))
+		}
+		return rep, nil
+	}
+	return params, compute, nil
+}
+
+// maxFleetN bounds /v1/fleet portfolio size: a fleet request is N full
+// pipeline runs on one daemon, so the cap keeps a single request from
+// monopolizing the admission gate for minutes.
+const maxFleetN = 64
+
+// parseFleet: GET /v1/fleet?n=8&archetypes=auditorium,office&seed=1&days=6&control_days=2
+// → a portfolio of randomized buildings through the full pipeline; the
+// body is the fleet.Report with per-archetype distributions. Member
+// stages are content-addressed like any other, so a repeated request
+// is served from the response LRU and a changed-seed request still
+// shares nothing (every member chain re-keys).
+func (s *Server) parseFleet(q url.Values) (map[string]string, computeFn, error) {
+	params := map[string]string{}
+	n, err := qInt(q, params, "n", 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n < 1 || n > maxFleetN {
+		return nil, nil, fmt.Errorf("parameter n: %d outside [1, %d]", n, maxFleetN)
+	}
+	archCSV := qStr(q, params, "archetypes", strings.Join(building.Archetypes(), ","))
+	seed, err := qInt(q, params, "seed", 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	days, err := qInt(q, params, "days", 6)
+	if err != nil {
+		return nil, nil, err
+	}
+	controlDays, err := qInt(q, params, "control_days", 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	setpoint, err := qFloat(q, params, "setpoint", 22)
+	if err != nil {
+		return nil, nil, err
+	}
+	controller := qStr(q, params, "controller", "deadband")
+	cfg := fleet.Config{
+		N:           n,
+		Seed:        int64(seed),
+		Days:        days,
+		ControlDays: controlDays,
+		Setpoint:    setpoint,
+		Controller:  controller,
+	}
+	for _, a := range strings.Split(archCSV, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			cfg.Archetypes = append(cfg.Archetypes, a)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	compute := func(ctx context.Context, eng *pipeline.Engine, b *obs.ManifestBuilder) (any, error) {
+		rep, err := fleet.Run(ctx, eng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.SetMetric("fleet_buildings", float64(len(rep.Buildings)))
+		for arch, st := range rep.PerArchetype {
+			b.SetMetric(arch+"_model_rmse_p50", float64(st.ModelRMSE.P50))
 		}
 		return rep, nil
 	}

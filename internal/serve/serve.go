@@ -130,6 +130,16 @@ func New(cfg Config, log *slog.Logger, root *obs.Span) (*Server, error) {
 	if cfg.ResponseCache <= 0 {
 		cfg.ResponseCache = 128
 	}
+	// Fail fast on a bad building: the simulator no longer clamps
+	// out-of-range mixing parameters, so a daemon misconfiguration
+	// surfaces here instead of as a 500 on the first request.
+	if cfg.Dataset.Spec != nil {
+		if err := cfg.Dataset.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	} else if err := cfg.Dataset.Building.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	spec := cfg.Store
 	if spec == "" && cfg.CacheDir != "" {
 		// The daemon's default stack fronts its disk store with the
@@ -169,7 +179,7 @@ func New(cfg Config, log *slog.Logger, root *obs.Span) (*Server, error) {
 		backend: backend,
 		epTrace: make(map[string]*endpointTrace),
 	}
-	for _, ep := range []string{"sysid", "cluster", "select", "control", "report", "artifacts"} {
+	for _, ep := range []string{"sysid", "cluster", "select", "control", "report", "fleet", "artifacts"} {
 		s.epTrace[ep] = &endpointTrace{}
 	}
 	if backend != nil {
@@ -217,6 +227,7 @@ func (s *Server) MountMux(m muxer) {
 	m.Handle("/v1/select", s.handle("select", s.parseSelect))
 	m.Handle("/v1/control", s.handle("control", s.parseControl))
 	m.Handle("/v1/report", s.handle("report", s.parseReport))
+	m.Handle("/v1/fleet", s.handle("fleet", s.parseFleet))
 	if s.artifacts != nil {
 		// The artifact endpoint rides the daemon's drain gate so a
 		// shutdown never truncates a peer's fetch mid-body. Like the
